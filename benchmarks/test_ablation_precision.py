@@ -1,0 +1,54 @@
+"""Ablation (Section III.A) — the SIMD-like FP32x2 / FP16x4 compute modes.
+
+The paper extends the classical FP64 systolic dataflow with 2-way FP32 and
+4-way FP16 modes (Fig. 2(c)/(d)).  This harness sweeps the three precisions on
+a single node and checks that the achieved throughput scales with the lane
+count while efficiency stays high — i.e. the extra lanes are actually usable,
+not just a peak-rate claim.
+"""
+
+import pytest
+
+from repro.analysis import format_gflops, format_percent, render_table
+from repro.core import estimate_node_gemm
+from repro.gemm import GEMMShape, Precision
+
+MATRIX_SIZE = 4096
+
+
+def test_ablation_precision_modes(benchmark, paper_config):
+    def regenerate():
+        results = {}
+        for precision in (Precision.FP64, Precision.FP32, Precision.FP16):
+            shape = GEMMShape(MATRIX_SIZE, MATRIX_SIZE, MATRIX_SIZE, precision)
+            results[precision] = estimate_node_gemm(paper_config, shape, active_nodes=1)
+        return results
+
+    results = benchmark(regenerate)
+
+    rows = []
+    for precision, timing in results.items():
+        rows.append([
+            str(precision),
+            f"{precision.simd_ways}-way",
+            format_gflops(timing.peak_gflops),
+            format_gflops(timing.achieved_gflops),
+            format_percent(timing.efficiency),
+        ])
+    print("\n" + render_table(
+        ["precision", "SIMD lanes", "peak", "achieved", "efficiency"],
+        rows,
+        title=f"Ablation - SIMD compute modes on a {MATRIX_SIZE}^3 GEMM (single node)",
+    ))
+
+    fp64, fp32, fp16 = (results[p] for p in (Precision.FP64, Precision.FP32, Precision.FP16))
+    # Peak rates follow the paper's 80 / 160 / 320 GFLOPS per node.
+    assert fp64.peak_gflops == pytest.approx(80.0)
+    assert fp32.peak_gflops == pytest.approx(160.0)
+    assert fp16.peak_gflops == pytest.approx(320.0)
+    # Achieved throughput scales close to the lane count.
+    assert fp32.achieved_gflops > 1.8 * fp64.achieved_gflops
+    assert fp16.achieved_gflops > 3.3 * fp64.achieved_gflops
+    # All modes stay efficient on a large GEMM.
+    for timing in results.values():
+        assert timing.efficiency > 0.85

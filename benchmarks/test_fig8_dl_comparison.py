@@ -1,0 +1,85 @@
+"""Fig. 8 — comparison with state-of-the-art solutions on DL workloads.
+
+Runs ResNet-50, BERT and a GPT-3 proxy (FP32 inference) on five systems with
+the same 256-lane FP32 MAC budget: Baseline-1 (CPU only), Baseline-2 (MACO
+without the mapping scheme), a RASA-like tightly-coupled engine, a
+Gemmini-like loosely-coupled accelerator, and MACO.  The harness prints the
+throughput bars and asserts the paper's qualitative findings: MACO wins on
+every benchmark, the ordering of the baselines holds, the average gains are in
+the same range the paper reports (3.30x over Baseline-1, 1.45x over
+Baseline-2, 1.35x over RASA, 1.30x over Gemmini), and MACO's best throughput
+is around a TFLOPS at high efficiency.
+"""
+
+import pytest
+
+from repro.analysis import format_gflops, render_table
+from repro.baselines import (
+    CPUOnlyBaseline,
+    GemminiLikeBaseline,
+    NoMappingBaseline,
+    RASALikeBaseline,
+)
+from repro.core import MACOSystem, geometric_mean
+from repro.gemm import Precision
+from repro.workloads import dl_benchmark_suite
+
+NUM_NODES = 8  # 256 FP32 MAC lanes, the paper's 16x16 PE budget
+
+
+def run_comparison(config):
+    """Run every system on every Fig. 8 workload; returns {system: {workload: gflops}}."""
+    suite = dl_benchmark_suite()
+    system = MACOSystem(config)
+    results = {"maco": {}}
+    for workload in suite:
+        results["maco"][workload.name] = system.run_workload(workload, num_nodes=NUM_NODES)
+    for model in (CPUOnlyBaseline(config), NoMappingBaseline(config),
+                  RASALikeBaseline(config), GemminiLikeBaseline(config)):
+        results[model.name] = {
+            workload.name: model.run_workload(workload, num_nodes=NUM_NODES) for workload in suite
+        }
+    return suite, results
+
+
+def test_fig8_dl_comparison(benchmark, fig8_config):
+    suite, results = benchmark.pedantic(
+        lambda: run_comparison(fig8_config), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    workload_names = [w.name for w in suite]
+    ordered_systems = ["baseline-1", "baseline-2", "rasa-like", "gemmini-like", "maco"]
+    rows = []
+    for system in ordered_systems:
+        rows.append([system] + [format_gflops(results[system][name].gflops) for name in workload_names])
+    print("\n" + render_table(["system"] + workload_names, rows,
+                              title="Fig. 8 - DL inference throughput (GFLOPS, FP32, 256 MAC lanes)"))
+
+    gains = {}
+    for system in ordered_systems[:-1]:
+        ratios = [
+            results["maco"][name].gflops / results[system][name].gflops for name in workload_names
+        ]
+        gains[system] = geometric_mean(ratios)
+    print("average MACO gain:", {system: round(gain, 2) for system, gain in gains.items()})
+
+    # MACO outperforms every other solution on every benchmark.
+    for name in workload_names:
+        maco_gflops = results["maco"][name].gflops
+        for system in ordered_systems[:-1]:
+            assert maco_gflops > results[system][name].gflops
+    # The CPU-only baseline is the slowest system on every benchmark.
+    for name in workload_names:
+        assert results["baseline-1"][name].gflops == min(
+            results[system][name].gflops for system in ordered_systems
+        )
+    # Average gains fall in the same range as the paper's 3.30x / 1.45x / 1.35x / 1.30x.
+    assert 2.5 < gains["baseline-1"] < 5.0
+    assert 1.1 < gains["baseline-2"] < 2.0
+    assert 1.15 < gains["rasa-like"] < 1.7
+    assert 1.1 < gains["gemmini-like"] < 1.6
+    # Headline: MACO reaches on the order of 1.1 TFLOPS at high efficiency.
+    best = max((results["maco"][name] for name in workload_names), key=lambda r: r.gflops)
+    assert 0.9e3 < best.gflops < 1.28e3
+    assert best.efficiency > 0.80
+    assert best.peak_gflops == pytest.approx(fig8_config.peak_gflops(Precision.FP32))

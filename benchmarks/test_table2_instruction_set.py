@@ -1,0 +1,39 @@
+"""Table II — the MPAIS instruction set.
+
+Regenerates the instruction catalogue and validates that every listed
+instruction assembles, encodes and decodes through the binary format.
+"""
+
+from repro.analysis import render_table
+from repro.isa import (
+    INSTRUCTION_TABLE,
+    Opcode,
+    assemble,
+    decode_instruction,
+    encode_instruction,
+)
+
+
+def build_table2() -> str:
+    rows = []
+    for opcode in Opcode:
+        info = INSTRUCTION_TABLE[opcode]
+        rows.append([info.function, opcode.value, info.description, info.usage])
+    return render_table(["Functions", "Instruction", "Description", "Usage"], rows,
+                        title="Table II - the proposed MPAIS instruction set")
+
+
+def test_table2_instruction_set(benchmark):
+    def regenerate() -> str:
+        # Every instruction must survive the assemble -> encode -> decode path.
+        for opcode in Opcode:
+            usage = INSTRUCTION_TABLE[opcode].usage.replace("MA_CLEAR,", "MA_CLEAR")
+            instruction = assemble(usage.replace("Rd", "X1").replace("Rn", "X2"))
+            assert decode_instruction(encode_instruction(instruction)) == instruction
+        return build_table2()
+
+    table = benchmark(regenerate)
+    print("\n" + table)
+    assert table.count("MA_") >= 7
+    for function in ("Data migration", "GEMM computing", "Task management"):
+        assert function in table

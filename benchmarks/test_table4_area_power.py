@@ -1,0 +1,37 @@
+"""Table IV — CPU core vs MMAE: frequency, area, power, FMACs, peak performance.
+
+Regenerates the comparison table and checks the derived claims the paper makes
+under it: the MMAE is ~25% of the CPU core's area, consumes 25% less power,
+offers >2x the peak GFLOPS, ~9x the area efficiency and >=2x the power
+efficiency.
+"""
+
+from repro.analysis import compare_cpu_mmae, mmae_area_breakdown, render_table
+
+
+def test_table4_area_power(benchmark):
+    def regenerate():
+        comparison = compare_cpu_mmae()
+        table = render_table(
+            ["", "Freq (GHz)", "Area (mm2)", "Power (W)", "FMACs", "Peak Perf (GFLOPS)"],
+            [comparison.cpu.as_row(), comparison.mmae.as_row()],
+            title="Table IV - comparison of the CPU core and MMAE",
+        )
+        breakdown = render_table(
+            ["MMAE component", "Area (mm2)"],
+            [[name, f"{area:.3f}"] for name, area in mmae_area_breakdown()],
+            title="MMAE area breakdown (Table IV footnote b)",
+        )
+        return comparison, table, breakdown
+
+    comparison, table, breakdown = benchmark(regenerate)
+    print("\n" + table)
+    print(breakdown)
+    summary = comparison.summary()
+    print("derived ratios:", {key: round(value, 2) for key, value in summary.items()})
+
+    assert 0.22 < summary["area_ratio"] < 0.28            # "area of MMAE is only 25% of the CPU core"
+    assert 0.70 < summary["power_ratio"] < 0.80           # "power consumption 25% lower"
+    assert summary["peak_ratio_fp64"] > 2.0               # "peak performance over 2x"
+    assert 8.0 < summary["area_efficiency_gain"] < 10.0   # "9x area efficiency"
+    assert summary["power_efficiency_gain"] >= 2.0        # ">= 2x GFLOPS/W"

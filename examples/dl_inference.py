@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Deep-learning inference on MACO: the workloads behind the paper's Fig. 8.
+
+Runs ResNet-50, BERT-large and a GPT-3 proxy (FP32 inference) on a MACO
+configuration with 256 FP32 MAC lanes (8 compute nodes), and compares against
+the four baseline systems of the paper: CPU-only (Baseline-1), MACO without
+the mapping scheme (Baseline-2), a RASA-like tightly-coupled engine, and a
+Gemmini-like loosely-coupled accelerator.
+"""
+
+from repro.analysis import format_gflops, render_table
+from repro.baselines import (
+    CPUOnlyBaseline,
+    GemminiLikeBaseline,
+    NoMappingBaseline,
+    RASALikeBaseline,
+    compare_systems,
+)
+from repro.core import MACOSystem, maco_default_config
+from repro.core.metrics import WorkloadResult
+from repro.gemm import Precision
+from repro.workloads import dl_benchmark_suite
+
+NUM_NODES = 8  # 8 nodes x 32 FP32 MAC lanes = 256 lanes (the paper's 16x16 PE budget)
+
+
+class _MACOAdapter:
+    """Makes MACOSystem look like a baseline model for compare_systems()."""
+
+    name = "maco"
+
+    def __init__(self, config) -> None:
+        self.system = MACOSystem(config)
+
+    def run_workload(self, workload, num_nodes=None) -> WorkloadResult:
+        result = self.system.run_workload(workload, num_nodes=num_nodes)
+        result.system = self.name
+        return result
+
+
+def main() -> None:
+    config = maco_default_config(num_nodes=NUM_NODES)
+    systems = [
+        CPUOnlyBaseline(config),
+        NoMappingBaseline(config),
+        RASALikeBaseline(config),
+        GemminiLikeBaseline(config),
+        _MACOAdapter(config),
+    ]
+    workloads = dl_benchmark_suite()
+    comparison = compare_systems(systems, workloads, num_nodes=NUM_NODES)
+
+    headers = ["system"] + [w.name for w in workloads] + ["geomean gain of MACO"]
+    rows = []
+    for system in systems:
+        cells = [system.name]
+        for workload in workloads:
+            cells.append(format_gflops(comparison.throughput(system.name, workload.name)))
+        if system.name == "maco":
+            cells.append("1.00x")
+        else:
+            cells.append(f"{comparison.average_speedup('maco', system.name):.2f}x")
+        rows.append(cells)
+    print(render_table(headers, rows, title=f"DL inference throughput ({NUM_NODES} compute nodes, FP32)"))
+
+    best = comparison.best_throughput("maco")
+    peak = config.peak_gflops(Precision.FP32)
+    print(f"\nMACO best observed throughput: {format_gflops(best)} "
+          f"({best / peak * 100:.1f}% of the {format_gflops(peak)} aggregate peak)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup script for the MACO reproduction package.
+
+The pyproject.toml carries the project metadata; this setup.py exists so the
+package can be installed editable (``pip install -e .``) in offline
+environments where pip cannot fetch the ``wheel`` build dependency needed by
+the PEP 660 editable-wheel path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of MACO: Exploring GEMM Acceleration on a "
+        "Loosely-Coupled Multi-Core Processor (DATE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

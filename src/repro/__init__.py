@@ -1,0 +1,20 @@
+"""Reproduction of MACO: GEMM acceleration on a loosely-coupled multi-core processor.
+
+The package is organised as a set of substrates (simulation kernel, memory
+hierarchy, network-on-chip, ISA, CPU core, MMAE accelerator, GEMM algorithms,
+deep-learning workloads, baselines) topped by :mod:`repro.core`, which
+assembles them into the MACO system described in the paper.
+
+Quickstart::
+
+    from repro.core import MACOSystem, maco_default_config
+    from repro.gemm import GEMMShape, Precision
+
+    system = MACOSystem(maco_default_config(num_nodes=4))
+    result = system.run_gemm(GEMMShape(2048, 2048, 2048, Precision.FP64))
+    print(result.gflops, result.efficiency)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

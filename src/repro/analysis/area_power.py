@@ -1,0 +1,133 @@
+"""The area/power/peak-performance model behind the paper's Table IV.
+
+Table IV compares one CPU core against one MMAE: frequency, area, power, FMAC
+count and theoretical peak, from which the paper derives that the MMAE has
+~9x the area efficiency (GFLOPS/mm^2) and ~2x the power efficiency (GFLOPS/W)
+of the CPU core at ~25% of its area and 25% lower power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.config import CPUConfig, MMAEConfig
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """Frequency/area/power/FMACs/peak of one hardware component (a Table IV row)."""
+
+    name: str
+    frequency_ghz: float
+    area_mm2: float
+    power_w: float
+    fmacs: int
+    peak_gflops_fp64: float
+    peak_gflops_fp32: float
+    peak_gflops_fp16: float = 0.0
+
+    @property
+    def area_efficiency_fp64(self) -> float:
+        """GFLOPS per mm^2 at FP64."""
+        return self.peak_gflops_fp64 / self.area_mm2
+
+    @property
+    def power_efficiency_fp64(self) -> float:
+        """GFLOPS per watt at FP64."""
+        return self.peak_gflops_fp64 / self.power_w
+
+    def as_row(self) -> List[str]:
+        """Format this budget as the corresponding Table IV row."""
+        peaks = f"{self.peak_gflops_fp64:.0f}(FP64)/{self.peak_gflops_fp32:.0f}(FP32)"
+        if self.peak_gflops_fp16:
+            peaks += f"/{self.peak_gflops_fp16:.0f}(FP16)"
+        return [
+            self.name,
+            f"{self.frequency_ghz:.1f}",
+            f"{self.area_mm2:.2f}",
+            f"{self.power_w:.1f}",
+            str(self.fmacs),
+            peaks,
+        ]
+
+
+def cpu_budget(config: CPUConfig = CPUConfig()) -> ComponentBudget:
+    """The CPU-core row of Table IV."""
+    return ComponentBudget(
+        name="CPU",
+        frequency_ghz=config.frequency_ghz,
+        area_mm2=config.area_mm2,
+        power_w=config.power_w,
+        fmacs=config.fmac_lanes,
+        peak_gflops_fp64=config.peak_gflops_fp64,
+        peak_gflops_fp32=config.peak_gflops_fp32,
+    )
+
+
+def mmae_budget(config: MMAEConfig = MMAEConfig()) -> ComponentBudget:
+    """The MMAE row of Table IV."""
+    return ComponentBudget(
+        name="MMAE",
+        frequency_ghz=config.frequency_ghz,
+        area_mm2=config.area_mm2,
+        power_w=config.power_w,
+        fmacs=config.fmac_lanes,
+        peak_gflops_fp64=config.peak_gflops_fp64,
+        peak_gflops_fp32=config.peak_gflops_fp32,
+        peak_gflops_fp16=config.peak_gflops_fp16,
+    )
+
+
+@dataclass(frozen=True)
+class AreaPowerComparison:
+    """The derived ratios the paper quotes below Table IV."""
+
+    cpu: ComponentBudget
+    mmae: ComponentBudget
+
+    @property
+    def area_ratio(self) -> float:
+        """MMAE area as a fraction of the CPU core's area (~0.25)."""
+        return self.mmae.area_mm2 / self.cpu.area_mm2
+
+    @property
+    def power_ratio(self) -> float:
+        """MMAE power as a fraction of the CPU core's power (~0.75)."""
+        return self.mmae.power_w / self.cpu.power_w
+
+    @property
+    def peak_ratio_fp64(self) -> float:
+        """MMAE peak over CPU peak at FP64 (>2x)."""
+        return self.mmae.peak_gflops_fp64 / self.cpu.peak_gflops_fp64
+
+    @property
+    def area_efficiency_gain(self) -> float:
+        """MMAE GFLOPS/mm^2 over CPU GFLOPS/mm^2 (~9x)."""
+        return self.mmae.area_efficiency_fp64 / self.cpu.area_efficiency_fp64
+
+    @property
+    def power_efficiency_gain(self) -> float:
+        """MMAE GFLOPS/W over CPU GFLOPS/W (~2x)."""
+        return self.mmae.power_efficiency_fp64 / self.cpu.power_efficiency_fp64
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "area_ratio": self.area_ratio,
+            "power_ratio": self.power_ratio,
+            "peak_ratio_fp64": self.peak_ratio_fp64,
+            "area_efficiency_gain": self.area_efficiency_gain,
+            "power_efficiency_gain": self.power_efficiency_gain,
+        }
+
+
+def compare_cpu_mmae(
+    cpu_config: CPUConfig = CPUConfig(), mmae_config: MMAEConfig = MMAEConfig()
+) -> AreaPowerComparison:
+    """Build the Table IV comparison from the configuration dataclasses."""
+    return AreaPowerComparison(cpu=cpu_budget(cpu_config), mmae=mmae_budget(mmae_config))
+
+
+def mmae_area_breakdown(config: MMAEConfig = MMAEConfig()) -> List[Tuple[str, float]]:
+    """Absolute area of each MMAE component (Table IV footnote b), in mm^2."""
+    return [(name, fraction * config.area_mm2) for name, fraction in config.area_breakdown]

@@ -1,0 +1,33 @@
+"""Baseline systems MACO is compared against in Fig. 8.
+
+* **Baseline-1** — MACO's CPU cores only (no MMAEs).
+* **Baseline-2** — MACO with MMAEs but without the Section IV.B mapping scheme
+  (no stash/lock, no CPU/MMAE overlap).
+* **RASA-like** — a tightly-coupled matrix engine inside each CPU core's
+  pipeline, following the resource-sharing trade-offs the paper attributes to
+  TCA designs (shared MMU/LSU, CPU clock domain, no CPU/engine overlap).
+* **Gemmini-like** — a loosely-coupled accelerator with address translation
+  but no predictive walks, no stash/lock support and a host-synchronised
+  task-at-a-time execution model.
+
+The authors' exact comparator configurations (MacSim/RASA, the Gemmini RTL
+generation) are not available, so these models share MACO's substrate and
+differ only in the architectural mechanisms the paper names; the calibration
+constants are documented in each module and in EXPERIMENTS.md.
+"""
+
+from repro.baselines.common import BaselineModel, BaselineComparison, compare_systems
+from repro.baselines.cpu_only import CPUOnlyBaseline
+from repro.baselines.mmae_nomap import NoMappingBaseline
+from repro.baselines.rasa import RASALikeBaseline
+from repro.baselines.gemmini import GemminiLikeBaseline
+
+__all__ = [
+    "BaselineModel",
+    "BaselineComparison",
+    "compare_systems",
+    "CPUOnlyBaseline",
+    "NoMappingBaseline",
+    "RASALikeBaseline",
+    "GemminiLikeBaseline",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface for the MACO reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli fig6                 # predictive-translation sweep
+    python -m repro.cli fig7                 # scalability sweep
+    python -m repro.cli fig8                 # DL workload comparison
+    python -m repro.cli table4               # CPU vs MMAE area/power table
+    python -m repro.cli gemm --size 4096 --nodes 8 --precision fp64
+
+The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
+matches the rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    compare_cpu_mmae,
+    efficiency_by_size,
+    efficiency_gap,
+    format_gflops,
+    format_percent,
+    render_series,
+    render_table,
+)
+from repro.baselines import (
+    CPUOnlyBaseline,
+    GemminiLikeBaseline,
+    NoMappingBaseline,
+    RASALikeBaseline,
+)
+from repro.core import MACOSystem, maco_default_config, sweep_prediction, sweep_scalability
+from repro.gemm import GEMMShape, Precision
+from repro.gemm.workloads import FIG6_MATRIX_SIZES, FIG7_MATRIX_SIZES
+from repro.workloads import dl_benchmark_suite
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    config = maco_default_config(num_nodes=args.nodes, prediction_enabled=not args.no_prediction)
+    system = MACOSystem(config)
+    shape = GEMMShape(args.size, args.size, args.size, Precision.from_string(args.precision))
+    result = system.run_gemm(shape)
+    print(f"GEMM {shape}: {result.seconds * 1e3:.2f} ms, "
+          f"{format_gflops(result.gflops)} ({format_percent(result.efficiency)} of peak) "
+          f"on {result.num_nodes} nodes")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    config = maco_default_config()
+    sizes = list(FIG6_MATRIX_SIZES)
+    points = sweep_prediction(config, sizes)
+    with_prediction = efficiency_by_size(points, prediction_enabled=True)
+    without = efficiency_by_size(points, prediction_enabled=False)
+    gaps = efficiency_gap(points)
+    print(render_series(
+        "matrix size", sizes,
+        {
+            "with prediction": [with_prediction[s] for s in sizes],
+            "without prediction": [without[s] for s in sizes],
+            "gap": [gaps[s] for s in sizes],
+        },
+        value_formatter=format_percent,
+        title="Fig. 6 - efficiency with/without predictive address translation",
+    ))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    config = maco_default_config()
+    sizes = list(FIG7_MATRIX_SIZES)
+    node_counts = [1, 2, 4, 8, 16]
+    points = sweep_scalability(config, sizes, node_counts)
+    series = {
+        f"{nodes}-core": [efficiency_by_size(points, active_nodes=nodes)[s] for s in sizes]
+        for nodes in node_counts
+    }
+    print(render_series("matrix size", sizes, series, value_formatter=format_percent,
+                        title="Fig. 7 - per-node efficiency vs active compute nodes"))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    config = maco_default_config(num_nodes=args.nodes)
+    system = MACOSystem(config)
+    suite = dl_benchmark_suite()
+    models = [CPUOnlyBaseline(config), NoMappingBaseline(config),
+              RASALikeBaseline(config), GemminiLikeBaseline(config)]
+    rows = []
+    for model in models:
+        rows.append([model.name] + [
+            format_gflops(model.run_workload(w, num_nodes=args.nodes).gflops) for w in suite
+        ])
+    rows.append(["maco"] + [
+        format_gflops(system.run_workload(w, num_nodes=args.nodes).gflops) for w in suite
+    ])
+    print(render_table(["system"] + [w.name for w in suite], rows,
+                       title=f"Fig. 8 - DL inference throughput ({args.nodes} nodes, FP32)"))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    comparison = compare_cpu_mmae()
+    print(render_table(
+        ["", "Freq (GHz)", "Area (mm2)", "Power (W)", "FMACs", "Peak Perf (GFLOPS)"],
+        [comparison.cpu.as_row(), comparison.mmae.as_row()],
+        title="Table IV - comparison of the CPU core and MMAE",
+    ))
+    for key, value in comparison.summary().items():
+        print(f"  {key}: {value:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gemm = subparsers.add_parser("gemm", help="time one square GEMM on MACO")
+    gemm.add_argument("--size", type=int, default=4096)
+    gemm.add_argument("--nodes", type=int, default=16)
+    gemm.add_argument("--precision", default="fp64", choices=["fp64", "fp32", "fp16"])
+    gemm.add_argument("--no-prediction", action="store_true",
+                      help="disable predictive address translation")
+    gemm.set_defaults(handler=_cmd_gemm)
+
+    fig6 = subparsers.add_parser("fig6", help="regenerate the Fig. 6 sweep")
+    fig6.set_defaults(handler=_cmd_fig6)
+
+    fig7 = subparsers.add_parser("fig7", help="regenerate the Fig. 7 sweep")
+    fig7.set_defaults(handler=_cmd_fig7)
+
+    fig8 = subparsers.add_parser("fig8", help="regenerate the Fig. 8 comparison")
+    fig8.add_argument("--nodes", type=int, default=8)
+    fig8.set_defaults(handler=_cmd_fig8)
+
+    table4 = subparsers.add_parser("table4", help="regenerate the Table IV comparison")
+    table4.set_defaults(handler=_cmd_table4)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

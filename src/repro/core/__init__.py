@@ -1,0 +1,86 @@
+"""MACO core: configuration, compute nodes, the full system, mapping and runtime.
+
+This package is the paper's primary contribution assembled from the substrate
+packages.  Typical entry points:
+
+* :func:`maco_default_config` / :class:`MACOConfig` — configure a system;
+* :class:`MACOSystem` — run GEMMs, scalability sweeps and DL workloads;
+* :class:`MACORuntime` — the NumPy-level software API over MPAIS;
+* :mod:`repro.core.perf` — the per-node performance model used by the sweeps.
+"""
+
+from repro.core.config import (
+    CPUConfig,
+    MMAEConfig,
+    MemoryConfig,
+    MACOConfig,
+    maco_default_config,
+)
+from repro.core.compute_node import ComputeNode, GEMMSubmission
+from repro.core.maco import MACOSystem
+from repro.core.mapping import (
+    MappingPlan,
+    NodeAssignment,
+    GemmPlusSchedule,
+    partition_gemm,
+    partition_workload,
+    schedule_gemm_plus,
+)
+from repro.core.metrics import (
+    NodeResult,
+    SystemResult,
+    WorkloadResult,
+    speedup,
+    geometric_mean,
+    average_efficiency,
+)
+from repro.core.perf import (
+    EfficiencyPoint,
+    estimate_node_gemm,
+    memory_environment,
+    node_peak_gflops,
+    sweep_prediction,
+    sweep_scalability,
+)
+from repro.core.runtime import MACORuntime, AsyncHandle
+from repro.core.explorer import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    EvaluationResult,
+    pareto_front,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "EvaluationResult",
+    "pareto_front",
+    "CPUConfig",
+    "MMAEConfig",
+    "MemoryConfig",
+    "MACOConfig",
+    "maco_default_config",
+    "ComputeNode",
+    "GEMMSubmission",
+    "MACOSystem",
+    "MappingPlan",
+    "NodeAssignment",
+    "GemmPlusSchedule",
+    "partition_gemm",
+    "partition_workload",
+    "schedule_gemm_plus",
+    "NodeResult",
+    "SystemResult",
+    "WorkloadResult",
+    "speedup",
+    "geometric_mean",
+    "average_efficiency",
+    "EfficiencyPoint",
+    "estimate_node_gemm",
+    "memory_environment",
+    "node_peak_gflops",
+    "sweep_prediction",
+    "sweep_scalability",
+    "MACORuntime",
+    "AsyncHandle",
+]

@@ -1,0 +1,202 @@
+"""A MACO compute node: one CPU core paired with one MMAE.
+
+The compute node wires the pieces together the way Fig. 2 shows: the CPU's
+MPAIS executor forwards task descriptors into the MMAE's Slave Task Queue, the
+STQ's completion responses update the CPU-side Master Task Queue, the MMAE
+shares the CPU core's MMU/L2-TLB for address translation, and both sides see
+the distributed L3 through the CCMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MACOConfig
+from repro.core.perf import estimate_node_gemm, memory_environment
+from repro.cpu.core import CPUCore
+from repro.cpu.exceptions import ExceptionType
+from repro.cpu.mtq import StatusWord
+from repro.gemm.precision import Precision
+from repro.gemm.workloads import GEMMShape
+from repro.isa.instructions import GEMMDescriptor
+from repro.mem.hostmem import HostMemory
+from repro.mem.l3cache import DistributedL3Cache
+from repro.mmae.controller import AcceleratorController, TaskResult
+from repro.mmae.dataflow import GEMMTimingBreakdown, MemoryEnvironment
+
+
+@dataclass
+class GEMMSubmission:
+    """Book-keeping for a GEMM submitted through the MPAIS path."""
+
+    maid: int
+    descriptor: GEMMDescriptor
+    status: Optional[StatusWord] = None
+    result: Optional[TaskResult] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status is not None and self.status.done
+
+    @property
+    def exception(self) -> ExceptionType:
+        if self.result is not None:
+            return self.result.exception
+        if self.status is not None:
+            return self.status.exception_type
+        return ExceptionType.NONE
+
+
+class ComputeNode:
+    """One of MACO's up-to-16 homogeneous compute nodes."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: MACOConfig,
+        host_memory: Optional[HostMemory] = None,
+        l3: Optional[DistributedL3Cache] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.host_memory = host_memory if host_memory is not None else HostMemory()
+        self.l3 = l3
+
+        cpu_cfg = config.cpu
+        self.cpu = CPUCore(
+            core_id=node_id,
+            frequency_hz=cpu_cfg.frequency_hz,
+            fmac_lanes=cpu_cfg.fmac_lanes,
+            issue_width=cpu_cfg.issue_width,
+            l1i_size=cpu_cfg.l1i_size_bytes,
+            l1d_size=cpu_cfg.l1d_size_bytes,
+            l1_associativity=cpu_cfg.l1d_associativity,
+            l2_size=cpu_cfg.l2_size_bytes,
+            l2_associativity=cpu_cfg.l2_associativity,
+            itlb_entries=cpu_cfg.itlb_entries,
+            dtlb_entries=cpu_cfg.dtlb_entries,
+            l2_tlb_entries=cpu_cfg.l2_tlb_entries,
+            mtq_entries=cpu_cfg.mtq_entries,
+            memory_bandwidth_bytes_per_s=cpu_cfg.memory_bandwidth_bytes_per_s,
+        )
+        # A default process so examples can allocate matrices immediately.
+        self.default_process = self.cpu.processes.create_process(f"node{node_id}.main")
+        self.cpu.mmu.register_page_table(self.default_process.address_space.page_table)
+
+        self.mmae = AcceleratorController(
+            node_id=node_id,
+            timing_params=config.mmae.timing_parameters(),
+            memory_env=memory_environment(config, active_nodes=1),
+            host_memory=self.host_memory,
+            l3=l3,
+            mmu=self.cpu.mmu,
+            stq_capacity=config.mmae.stq_entries,
+            page_size=config.memory.page_size,
+            prediction_enabled=config.prediction_enabled,
+        )
+        # Completion responses from the STQ update the CPU-side MTQ (Fig. 3).
+        self.mmae.stq.on_completion(self.cpu.mtq.mark_done)
+        self.executor = self.cpu.attach_mmae(self.mmae)
+        self._matrix_count = 0
+
+    # ------------------------------------------------------------------- memory
+    def allocate_matrix(
+        self, rows: int, cols: int, precision: Precision = Precision.FP64,
+        name: Optional[str] = None, data: Optional[np.ndarray] = None,
+    ) -> Tuple[int, np.ndarray]:
+        """Allocate a matrix in the node's default address space and host memory.
+
+        Returns ``(virtual_base_address, array)``.  If ``data`` is given it is
+        copied into the allocation (cast to the requested precision).
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        label = name if name is not None else f"matrix{self._matrix_count}"
+        self._matrix_count += 1
+        size_bytes = rows * cols * precision.bytes_per_element
+        vaddr = self.default_process.address_space.allocate_region(label, size_bytes)
+        if data is not None:
+            if data.shape != (rows, cols):
+                raise ValueError(f"data shape {data.shape} does not match ({rows}, {cols})")
+            # Copy into fresh storage: the allocation is the canonical backing
+            # store of the region and must not alias the caller's array.
+            array = np.array(data, dtype=precision.dtype, order="C", copy=True)
+        else:
+            array = np.zeros((rows, cols), dtype=precision.dtype)
+        self.host_memory.register_matrix(vaddr, array)
+        return vaddr, array
+
+    # -------------------------------------------------------------- MPAIS driver
+    def submit_gemm(self, descriptor: GEMMDescriptor, execute: bool = True) -> GEMMSubmission:
+        """Submit a GEMM through the MPAIS path (MA_CFG) and optionally execute it.
+
+        The descriptor's parameters are packed into registers X2..X7, MA_CFG is
+        executed to allocate an MTQ entry and forward the task to the MMAE, the
+        accelerator runs its pending queue, and MA_STATE retrieves and releases
+        the status — the full software flow of Section III.B.
+        """
+        registers = self.cpu.registers
+        registers.write_block(2, descriptor.pack())
+        from repro.isa.assembler import assemble_program
+
+        cfg_trace = self.executor.execute_program(assemble_program("MA_CFG X1, X2"))[0]
+        maid = cfg_trace.maid
+        submission = GEMMSubmission(maid=maid, descriptor=descriptor)
+        if not execute:
+            return submission
+        results = self.mmae.execute_pending()
+        for result in results:
+            if result.maid == maid:
+                submission.result = result
+        state_trace = self.executor.execute_program(assemble_program("MA_STATE X3, X1"))[0]
+        submission.status = StatusWord.unpack(state_trace.status_word)
+        return submission
+
+    def run_gemm_functional(
+        self, a: np.ndarray, b: np.ndarray, c: Optional[np.ndarray] = None,
+        precision: Precision = Precision.FP64,
+        ttr: int = 64, ttc: int = 64,
+    ) -> Tuple[np.ndarray, GEMMSubmission]:
+        """Allocate operands, run the GEMM through the MPAIS/MMAE path, return C.
+
+        Intended for examples and tests; the matrices must be small enough for
+        functional execution (see the controller's FUNCTIONAL_LIMIT_ELEMENTS).
+        """
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+        addr_a, _ = self.allocate_matrix(m, k, precision, data=a)
+        addr_b, _ = self.allocate_matrix(k, n, precision, data=b)
+        addr_c, array_c = self.allocate_matrix(m, n, precision, data=c if c is not None else None)
+        descriptor = GEMMDescriptor(
+            addr_a=addr_a, addr_b=addr_b, addr_c=addr_c,
+            m=m, n=n, k=k, precision=precision,
+            tile_rows=min(self.config.level1_tile.rows, max(m, ttr)),
+            tile_cols=min(self.config.level1_tile.cols, max(n, ttc)),
+            ttr=min(ttr, m), ttc=min(ttc, n),
+        )
+        submission = self.submit_gemm(descriptor)
+        return array_c, submission
+
+    # -------------------------------------------------------------- timing model
+    def run_gemm_timed(
+        self, shape: GEMMShape, active_nodes: int = 1, prediction_enabled: Optional[bool] = None,
+        env: Optional[MemoryEnvironment] = None,
+    ) -> GEMMTimingBreakdown:
+        """Cycle-approximate timing of a GEMM on this node's MMAE."""
+        return estimate_node_gemm(
+            self.config, shape, active_nodes=active_nodes,
+            prediction_enabled=prediction_enabled, env=env,
+        )
+
+    # ------------------------------------------------------------------- helpers
+    @property
+    def mmae_peak_gflops_fp64(self) -> float:
+        return self.config.mmae.peak_gflops_fp64
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComputeNode(node_id={self.node_id})"

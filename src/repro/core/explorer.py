@@ -1,0 +1,231 @@
+"""Design-space exploration utilities.
+
+The paper's title is about *exploring* GEMM acceleration on a loosely-coupled
+multi-core processor; this module provides the exploration loop a computer
+architect would run on top of the reproduction: sweep architectural knobs
+(systolic-array geometry, scratchpad capacity, node count, DMA/NoC provisioning,
+clock frequencies), evaluate each candidate on a workload with the same
+cycle-approximate model used by the paper's figures, and rank the candidates by
+throughput, efficiency, or performance per area/watt.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import MACOConfig, MMAEConfig, maco_default_config
+from repro.core.mapping import partition_gemm
+from repro.core.perf import estimate_node_gemm, memory_environment
+from repro.gemm.precision import Precision
+from repro.gemm.tiling import TileConfig
+from repro.gemm.workloads import GEMMShape, GEMMWorkload
+from repro.mmae.buffers import BufferSet
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration in the exploration space."""
+
+    name: str
+    sa_rows: int = 4
+    sa_cols: int = 4
+    buffer_kb: int = 64              # per A/B/C buffer
+    num_nodes: int = 16
+    mmae_frequency_ghz: float = 2.5
+    dma_engines: int = 2
+    prediction_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sa_rows <= 0 or self.sa_cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        if self.buffer_kb <= 0 or self.num_nodes <= 0 or self.dma_engines <= 0:
+            raise ValueError("buffer size, node count and DMA engines must be positive")
+        if self.mmae_frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+    def to_config(self, base: Optional[MACOConfig] = None) -> MACOConfig:
+        """Materialise this design point as a full MACO configuration."""
+        base = base if base is not None else maco_default_config()
+        mmae = replace(
+            base.mmae,
+            sa_rows=self.sa_rows,
+            sa_cols=self.sa_cols,
+            a_buffer_bytes=self.buffer_kb * 1024,
+            b_buffer_bytes=self.buffer_kb * 1024,
+            c_buffer_bytes=self.buffer_kb * 1024,
+            frequency_hz=self.mmae_frequency_ghz * 1e9,
+            dma_engines=self.dma_engines,
+            # First-order area/power scaling: the array grows with the PE count,
+            # the buffers with their capacity; the controller/ADE stay fixed.
+            area_mm2=base.mmae.area_mm2
+            * (0.40 + 0.247 * (self.sa_rows * self.sa_cols) / 16.0 + 0.367 * self.buffer_kb / 64.0),
+            power_w=base.mmae.power_w
+            * (0.40 + 0.35 * (self.sa_rows * self.sa_cols) / 16.0 + 0.25 * self.buffer_kb / 64.0),
+        )
+        # The software tiling follows the hardware: the second-level tile is the
+        # largest square block the (double-buffered) scratchpads can hold, so a
+        # larger buffer buys more on-chip reuse and lower DMA demand.
+        buffers = BufferSet(
+            a_capacity=mmae.a_buffer_bytes,
+            b_capacity=mmae.b_buffer_bytes,
+            c_capacity=mmae.c_buffer_bytes,
+        )
+        tile_dim = max(8, buffers.max_tile_dim(Precision.FP64, double_buffered=True))
+        level2 = TileConfig(tile_dim, tile_dim)
+        level1 = TileConfig(max(base.level1_tile.rows, tile_dim), max(base.level1_tile.cols, tile_dim))
+        return replace(
+            base,
+            num_nodes=self.num_nodes,
+            mmae=mmae,
+            level1_tile=level1,
+            level2_tile=level2,
+            prediction_enabled=self.prediction_enabled,
+        )
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one design point on a workload."""
+
+    point: DesignPoint
+    config: MACOConfig
+    seconds: float
+    gflops: float
+    efficiency: float
+    node_area_mm2: float
+    node_power_w: float
+
+    @property
+    def gflops_per_mm2(self) -> float:
+        """Throughput per compute-node area (CPU core + MMAE)."""
+        return self.gflops / (self.node_area_mm2 * self.config.num_nodes)
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Throughput per compute-node power (CPU core + MMAE)."""
+        return self.gflops / (self.node_power_w * self.config.num_nodes)
+
+
+class DesignSpaceExplorer:
+    """Evaluates and ranks design points on a GEMM workload."""
+
+    def __init__(self, base_config: Optional[MACOConfig] = None) -> None:
+        self.base_config = base_config if base_config is not None else maco_default_config()
+
+    # ------------------------------------------------------------------ sweeping
+    @staticmethod
+    def grid(
+        sa_dims: Sequence[int] = (2, 4, 8),
+        buffer_kbs: Sequence[int] = (32, 64, 128),
+        node_counts: Sequence[int] = (4, 8, 16),
+        prediction: Sequence[bool] = (True,),
+    ) -> List[DesignPoint]:
+        """A full-factorial grid of design points over the main knobs."""
+        points = []
+        for dim, buffer_kb, nodes, pred in itertools.product(sa_dims, buffer_kbs, node_counts, prediction):
+            points.append(
+                DesignPoint(
+                    name=f"sa{dim}x{dim}-buf{buffer_kb}k-n{nodes}{'' if pred else '-nopred'}",
+                    sa_rows=dim, sa_cols=dim, buffer_kb=buffer_kb, num_nodes=nodes,
+                    prediction_enabled=pred,
+                )
+            )
+        return points
+
+    # ---------------------------------------------------------------- evaluation
+    def evaluate(self, point: DesignPoint, workload: GEMMWorkload | GEMMShape) -> EvaluationResult:
+        """Evaluate one design point on a workload (or a single GEMM shape)."""
+        config = point.to_config(self.base_config)
+        shapes = [workload] if isinstance(workload, GEMMShape) else list(workload)
+        if not shapes:
+            raise ValueError("workload has no GEMMs to evaluate")
+        precision = shapes[0].precision
+        env = memory_environment(config, config.num_nodes)
+
+        total_seconds = 0.0
+        total_flops = 0
+        for shape in shapes:
+            plan = partition_gemm(shape, config.num_nodes)
+            layer_seconds = max(
+                estimate_node_gemm(config, assignment.shape, active_nodes=config.num_nodes, env=env).seconds
+                for assignment in plan.assignments
+            )
+            total_seconds += layer_seconds
+            total_flops += shape.flops
+
+        gflops = total_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
+        peak = config.peak_gflops(precision)
+        node_area = config.cpu.area_mm2 + config.mmae.area_mm2
+        node_power = config.cpu.power_w + config.mmae.power_w
+        return EvaluationResult(
+            point=point,
+            config=config,
+            seconds=total_seconds,
+            gflops=gflops,
+            efficiency=gflops / peak if peak else 0.0,
+            node_area_mm2=node_area,
+            node_power_w=node_power,
+        )
+
+    def explore(
+        self,
+        points: Iterable[DesignPoint],
+        workload: GEMMWorkload | GEMMShape,
+        objective: Callable[[EvaluationResult], float] | str = "gflops",
+    ) -> List[EvaluationResult]:
+        """Evaluate every point and return the results sorted best-first."""
+        key = self._objective(objective)
+        results = [self.evaluate(point, workload) for point in points]
+        return sorted(results, key=key, reverse=True)
+
+    def best(
+        self,
+        points: Iterable[DesignPoint],
+        workload: GEMMWorkload | GEMMShape,
+        objective: Callable[[EvaluationResult], float] | str = "gflops",
+    ) -> EvaluationResult:
+        """The best design point under the chosen objective."""
+        ranked = self.explore(points, workload, objective)
+        return ranked[0]
+
+    @staticmethod
+    def _objective(objective: Callable[[EvaluationResult], float] | str) -> Callable[[EvaluationResult], float]:
+        if callable(objective):
+            return objective
+        known: Dict[str, Callable[[EvaluationResult], float]] = {
+            "gflops": lambda r: r.gflops,
+            "efficiency": lambda r: r.efficiency,
+            "gflops_per_mm2": lambda r: r.gflops_per_mm2,
+            "gflops_per_watt": lambda r: r.gflops_per_watt,
+        }
+        if objective not in known:
+            raise ValueError(f"unknown objective {objective!r}; options: {sorted(known)}")
+        return known[objective]
+
+
+def pareto_front(
+    results: Sequence[EvaluationResult],
+    metrics: Sequence[Callable[[EvaluationResult], float]] = (
+        lambda r: r.gflops,
+        lambda r: r.gflops_per_watt,
+    ),
+) -> List[EvaluationResult]:
+    """The subset of results not dominated on all of the given metrics."""
+    front = []
+    for candidate in results:
+        candidate_scores = [metric(candidate) for metric in metrics]
+        dominated = False
+        for other in results:
+            if other is candidate:
+                continue
+            other_scores = [metric(other) for metric in metrics]
+            if all(o >= c for o, c in zip(other_scores, candidate_scores)) and any(
+                o > c for o, c in zip(other_scores, candidate_scores)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

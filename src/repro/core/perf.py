@@ -1,0 +1,150 @@
+"""System-level performance model: per-node memory environments and GEMM timing.
+
+This module glues the substrates together for the evaluation sweeps: it
+derives the :class:`~repro.mmae.dataflow.MemoryEnvironment` one compute node
+sees when ``active_nodes`` nodes are streaming simultaneously (L3 capacity
+share, DRAM bandwidth share, queueing-inflated round-trip latencies, NoC link
+contention) and wraps :func:`~repro.mmae.dataflow.estimate_gemm_timing` with
+the system configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import MACOConfig
+from repro.gemm.precision import Precision
+from repro.gemm.workloads import GEMMShape
+from repro.mem.dram import DRAMModel
+from repro.mmae.dataflow import (
+    GEMMTimingBreakdown,
+    MemoryEnvironment,
+    estimate_gemm_timing,
+)
+from repro.noc.contention import NocContentionModel
+
+
+def memory_environment(config: MACOConfig, active_nodes: int) -> MemoryEnvironment:
+    """The memory system as seen by one node when ``active_nodes`` nodes are busy.
+
+    * **L3 share** — the distributed system cache is shared, so each active
+      node can keep roughly ``total / active_nodes`` bytes resident.
+    * **DRAM share** — the DDR controllers' effective bandwidth (which erodes
+      slightly as stream count grows) divided among the active nodes.
+    * **Round-trip latencies** — the base L3/DRAM latencies plus a queueing
+      term that grows with the number of active nodes contending at the CCMs
+      and memory controllers; the latency-limited DMA engines turn this
+      directly into lower sustained bandwidth.
+    """
+    if not 1 <= active_nodes <= config.num_nodes:
+        raise ValueError(f"active_nodes must be in 1..{config.num_nodes}, got {active_nodes}")
+    memory = config.memory
+    dram = DRAMModel(config=memory.dram)
+    dram_share = dram.effective_bandwidth(active_nodes) / active_nodes
+    queue_ns = memory.queue_ns_per_active_node * (active_nodes - 1)
+    return MemoryEnvironment(
+        l3_share_bytes=memory.l3_total_bytes / active_nodes,
+        dram_bandwidth_share_bytes_per_s=dram_share,
+        noc_node_bandwidth_bytes_per_s=config.noc.node_bandwidth_bytes_per_s,
+        l3_round_trip_ns=memory.l3_round_trip_ns + queue_ns,
+        dram_round_trip_ns=memory.dram_round_trip_ns + queue_ns,
+    )
+
+
+def estimate_node_gemm(
+    config: MACOConfig,
+    shape: GEMMShape,
+    active_nodes: int = 1,
+    prediction_enabled: Optional[bool] = None,
+    env: Optional[MemoryEnvironment] = None,
+) -> GEMMTimingBreakdown:
+    """Timing of one GEMM executed by one MMAE under the given system load."""
+    if prediction_enabled is None:
+        prediction_enabled = config.prediction_enabled
+    if env is None:
+        env = memory_environment(config, active_nodes)
+    return estimate_gemm_timing(
+        shape,
+        level1=config.level1_tile,
+        level2=config.level2_tile,
+        params=config.mmae.timing_parameters(),
+        env=env,
+        prediction_enabled=prediction_enabled,
+        page_size=config.memory.page_size,
+    )
+
+
+def node_peak_gflops(config: MACOConfig, precision: Precision) -> float:
+    """Theoretical peak of a single MMAE for a precision."""
+    return {
+        Precision.FP64: config.mmae.peak_gflops_fp64,
+        Precision.FP32: config.mmae.peak_gflops_fp32,
+        Precision.FP16: config.mmae.peak_gflops_fp16,
+    }[precision]
+
+
+@dataclass
+class EfficiencyPoint:
+    """One point of an efficiency sweep (Figs. 6 and 7)."""
+
+    matrix_size: int
+    active_nodes: int
+    prediction_enabled: bool
+    efficiency: float
+    gflops: float
+    seconds: float
+
+
+def sweep_prediction(
+    config: MACOConfig,
+    sizes: List[int],
+    precision: Precision = Precision.FP64,
+) -> List[EfficiencyPoint]:
+    """The Fig. 6 sweep: single node, with and without predictive translation."""
+    points = []
+    for prediction in (False, True):
+        for size in sizes:
+            shape = GEMMShape(size, size, size, precision)
+            timing = estimate_node_gemm(config, shape, active_nodes=1, prediction_enabled=prediction)
+            points.append(
+                EfficiencyPoint(
+                    matrix_size=size,
+                    active_nodes=1,
+                    prediction_enabled=prediction,
+                    efficiency=timing.efficiency,
+                    gflops=timing.achieved_gflops,
+                    seconds=timing.seconds,
+                )
+            )
+    return points
+
+
+def sweep_scalability(
+    config: MACOConfig,
+    sizes: List[int],
+    node_counts: List[int],
+    precision: Precision = Precision.FP64,
+) -> List[EfficiencyPoint]:
+    """The Fig. 7 sweep: independent GEMMs on 1..16 nodes, per-node efficiency."""
+    points = []
+    for nodes in node_counts:
+        for size in sizes:
+            shape = GEMMShape(size, size, size, precision)
+            timing = estimate_node_gemm(config, shape, active_nodes=nodes)
+            points.append(
+                EfficiencyPoint(
+                    matrix_size=size,
+                    active_nodes=nodes,
+                    prediction_enabled=config.prediction_enabled,
+                    efficiency=timing.efficiency,
+                    gflops=timing.achieved_gflops * nodes,
+                    seconds=timing.seconds,
+                )
+            )
+    return points
+
+
+def noc_contention_model(config: MACOConfig) -> NocContentionModel:
+    """The transaction-independent NoC contention model for this configuration."""
+    return NocContentionModel(config=config.noc, dram=DRAMModel(config=config.memory.dram))

@@ -1,0 +1,113 @@
+"""The memory-management unit shared between the CPU core and the MMAE.
+
+The MMAE has no MMU of its own: it shares the CPU core's L2 ("shared") TLB via
+a customised interface, and the mATLB sends its predictive page-table-walk
+requests through this MMU (paper Sections III.A and IV.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mem.address import DEFAULT_PAGE_SIZE
+from repro.mem.page_table import PageTable, PageTableWalker
+from repro.mem.tlb import TLBHierarchy, TranslationResult
+
+
+@dataclass
+class MMUStats:
+    translations: int = 0
+    itlb_accesses: int = 0
+    dtlb_accesses: int = 0
+    walks: int = 0
+    walk_cycles: int = 0
+    prewalk_requests: int = 0
+
+
+class MMU:
+    """ITLB + DTLB + shared L2 TLB + page-table walker (Table I geometry)."""
+
+    def __init__(
+        self,
+        itlb_entries: int = 48,
+        dtlb_entries: int = 48,
+        l2_entries: int = 1024,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        walker: Optional[PageTableWalker] = None,
+    ) -> None:
+        self.page_size = page_size
+        self.walker = walker if walker is not None else PageTableWalker()
+        # The instruction and data L1 TLBs share the unified L2 TLB, which the
+        # model approximates with two hierarchies sharing one walker; the L2
+        # capacity is what matters for the MMAE's streaming accesses.
+        self.itlb = TLBHierarchy(
+            l1_entries=itlb_entries, l2_entries=l2_entries, page_size=page_size,
+            walker=self.walker, name="itlb",
+        )
+        self.dtlb = TLBHierarchy(
+            l1_entries=dtlb_entries, l2_entries=l2_entries, page_size=page_size,
+            walker=self.walker, name="dtlb",
+        )
+        self.stats = MMUStats()
+        self._page_tables: Dict[int, PageTable] = {}
+
+    # ------------------------------------------------------------------ contexts
+    def register_page_table(self, page_table: PageTable) -> None:
+        """Make an address space translatable through this MMU."""
+        self._page_tables[page_table.asid] = page_table
+
+    def page_table(self, asid: int) -> PageTable:
+        if asid not in self._page_tables:
+            raise KeyError(f"no page table registered for ASID {asid}")
+        return self._page_tables[asid]
+
+    def registered_asids(self) -> List[int]:
+        return list(self._page_tables)
+
+    # --------------------------------------------------------------- translation
+    def translate_data(self, asid: int, vaddr: int) -> TranslationResult:
+        """Translate a data access (CPU load/store or MMAE DMA)."""
+        self.stats.translations += 1
+        self.stats.dtlb_accesses += 1
+        result = self.dtlb.translate(self.page_table(asid), vaddr)
+        if result.level == "walk":
+            self.stats.walks += 1
+            self.stats.walk_cycles += result.cycles
+        return result
+
+    def translate_instruction(self, asid: int, vaddr: int) -> TranslationResult:
+        """Translate an instruction fetch."""
+        self.stats.translations += 1
+        self.stats.itlb_accesses += 1
+        result = self.itlb.translate(self.page_table(asid), vaddr)
+        if result.level == "walk":
+            self.stats.walks += 1
+            self.stats.walk_cycles += result.cycles
+        return result
+
+    def prewalk(self, asid: int, vaddr: int) -> TranslationResult:
+        """Perform a predictive walk on behalf of the mATLB.
+
+        The result is installed in the shared TLBs so the later demand access
+        hits; the caller decides whether the walk cycles are hidden.
+        """
+        self.stats.prewalk_requests += 1
+        result = self.dtlb.prewalk(self.page_table(asid), vaddr)
+        if result.level == "walk":
+            self.stats.walks += 1
+            self.stats.walk_cycles += result.cycles
+        return result
+
+    def flush_asid(self, asid: int) -> None:
+        self.itlb.flush(asid)
+        self.dtlb.flush(asid)
+
+    @property
+    def data_tlb_hit_rate(self) -> float:
+        accesses = self.dtlb.l1.stats.accesses
+        if not accesses:
+            return 0.0
+        # A hit at either level counts; only walks are misses of the hierarchy.
+        hierarchy_misses = self.dtlb.l2.stats.misses
+        return 1.0 - hierarchy_misses / accesses

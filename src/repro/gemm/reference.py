@@ -1,0 +1,94 @@
+"""Reference GEMM implementations used to validate the accelerator models.
+
+``reference_gemm`` is a thin wrapper over NumPy; ``blocked_gemm`` reproduces
+the two-level tiled loop nest in plain Python/NumPy so tests can confirm the
+tiling enumeration visits every MAC exactly once; ``tiled_gemm_trace``
+additionally records the tile visit order, which the MMAE scheduler tests
+compare against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gemm.precision import Precision
+from repro.gemm.tiling import PAPER_LEVEL1, PAPER_LEVEL2, TileConfig, TwoLevelTiling
+from repro.gemm.workloads import GEMMShape
+
+
+def reference_gemm(
+    a: np.ndarray, b: np.ndarray, c: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Compute ``C + A @ B`` (or ``A @ B`` when C is omitted) in float64."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("reference_gemm expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+    result = np.matmul(a.astype(np.float64), b.astype(np.float64))
+    if c is not None:
+        if c.shape != result.shape:
+            raise ValueError(f"C has shape {c.shape}, expected {result.shape}")
+        result = result + c.astype(np.float64)
+    return result
+
+
+def blocked_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    level1: TileConfig = PAPER_LEVEL1,
+    level2: TileConfig = PAPER_LEVEL2,
+) -> np.ndarray:
+    """Two-level blocked GEMM following the MACO schedule.
+
+    Numerically equivalent to :func:`reference_gemm` (up to floating point
+    reassociation); exists so the tiling iteration itself is under test.
+    """
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+    shape = GEMMShape(m, n, k, Precision.FP64)
+    tiling = TwoLevelTiling(shape, level1, level2)
+    out = np.zeros((m, n), dtype=np.float64)
+    if c is not None:
+        out += c.astype(np.float64)
+    a64 = a.astype(np.float64)
+    b64 = b.astype(np.float64)
+    for tile1 in tiling.level1_tiles():
+        for tile2 in tiling.level2_tiles(tile1):
+            a_block = a64[tile2.row_start : tile2.row_end, tile2.k_start : tile2.k_end]
+            b_block = b64[tile2.k_start : tile2.k_end, tile2.col_start : tile2.col_end]
+            out[tile2.row_start : tile2.row_end, tile2.col_start : tile2.col_end] += (
+                a_block @ b_block
+            )
+    return out
+
+
+def tiled_gemm_trace(
+    shape: GEMMShape,
+    level1: TileConfig = PAPER_LEVEL1,
+    level2: TileConfig = PAPER_LEVEL2,
+) -> List[Tuple[int, int, int, int, int, int]]:
+    """Return the (row_start, row_end, col_start, col_end, k_start, k_end) visit order.
+
+    The MMAE controller must visit second-level tiles in exactly this order for
+    the double-buffering overlap model to be valid.
+    """
+    tiling = TwoLevelTiling(shape, level1, level2)
+    trace = []
+    for tile1 in tiling.level1_tiles():
+        for tile2 in tiling.level2_tiles(tile1):
+            trace.append(
+                (
+                    tile2.row_start,
+                    tile2.row_end,
+                    tile2.col_start,
+                    tile2.col_end,
+                    tile2.k_start,
+                    tile2.k_end,
+                )
+            )
+    return trace

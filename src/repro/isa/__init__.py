@@ -1,0 +1,53 @@
+"""MPAIS: the Matrix Processing Assist Instruction Set (paper Section III.B).
+
+MPAIS is a non-privileged extension of ARMv8 with seven instructions grouped
+into three functions:
+
+* data migration — ``MA_MOVE`` (copy), ``MA_INIT`` (zero-fill), ``MA_STASH``
+  (prefetch into the L3 cache);
+* GEMM computing — ``MA_CFG`` (allocate an MTQ entry and submit a tile-GEMM
+  task to the MMAE);
+* task management — ``MA_READ`` (query state), ``MA_STATE`` (query state and
+  release the MTQ entry), ``MA_CLEAR`` (clear an entry after an exception).
+
+This package provides instruction objects, register-level parameter packing,
+a binary encoding in an unused ARMv8 opcode space, a small assembler, and a
+functional executor that drives the MTQ/MMAE handshake.
+"""
+
+from repro.isa.registers import RegisterFile
+from repro.isa.instructions import (
+    Opcode,
+    Instruction,
+    GEMMDescriptor,
+    MoveDescriptor,
+    InitDescriptor,
+    StashDescriptor,
+    INSTRUCTION_TABLE,
+    InstructionInfo,
+)
+from repro.isa.encoding import encode_instruction, decode_instruction, MPAIS_OPCODE_SPACE
+from repro.isa.assembler import assemble, assemble_program, AssemblyError, Program
+from repro.isa.executor import MPAISExecutor, ExecutionTrace, MMAEPort
+
+__all__ = [
+    "RegisterFile",
+    "Opcode",
+    "Instruction",
+    "GEMMDescriptor",
+    "MoveDescriptor",
+    "InitDescriptor",
+    "StashDescriptor",
+    "INSTRUCTION_TABLE",
+    "InstructionInfo",
+    "encode_instruction",
+    "decode_instruction",
+    "MPAIS_OPCODE_SPACE",
+    "assemble",
+    "assemble_program",
+    "AssemblyError",
+    "Program",
+    "MPAISExecutor",
+    "ExecutionTrace",
+    "MMAEPort",
+]

@@ -1,0 +1,199 @@
+"""Functional executor for MPAIS instructions.
+
+The executor models the CPU-side micro-operation sequence of each MPAIS
+instruction (paper Section III.B): MA_CFG requests a Master Task Queue entry,
+packs the task parameters from the six successive registers Rn..Rn+5, and
+forwards them to the MMAE; the data-migration instructions follow the same
+flow but dispatch DMA descriptors; the task-management instructions query or
+clear MTQ entries.
+
+To keep the ISA layer independent of the CPU and MMAE packages, the executor
+talks to them through two small structural interfaces (:class:`MTQPort` and
+:class:`MMAEPort`); :class:`repro.cpu.core.CPUCore` and
+:class:`repro.mmae.controller.AcceleratorController` satisfy them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.isa.instructions import (
+    GEMMDescriptor,
+    InitDescriptor,
+    Instruction,
+    MoveDescriptor,
+    Opcode,
+    PARAMETER_REGISTERS,
+    StashDescriptor,
+)
+from repro.isa.registers import RegisterFile
+
+
+class MPAISExecutionError(Exception):
+    """Raised when an instruction cannot be executed (e.g. MTQ full, bad MAID)."""
+
+
+@runtime_checkable
+class MTQPort(Protocol):
+    """The slice of the Master Task Queue interface the executor needs."""
+
+    def allocate(self, asid: int) -> Optional[int]:
+        """Allocate an entry for a process; returns the MAID or None if full."""
+
+    def query(self, maid: int) -> int:
+        """Return the packed status word of an entry."""
+
+    def query_and_release(self, maid: int, asid: int) -> int:
+        """Return the packed status word and release the entry if it belongs to ``asid``."""
+
+    def clear(self, maid: int) -> None:
+        """Clear an entry (used after exceptions)."""
+
+
+@runtime_checkable
+class MMAEPort(Protocol):
+    """The slice of the MMAE interface the executor needs."""
+
+    def submit_gemm(self, maid: int, asid: int, descriptor: GEMMDescriptor) -> None:
+        """Queue a GEMM task in the Slave Task Queue."""
+
+    def submit_move(self, maid: int, asid: int, descriptor: MoveDescriptor) -> None:
+        """Queue a DMA copy."""
+
+    def submit_init(self, maid: int, asid: int, descriptor: InitDescriptor) -> None:
+        """Queue a DMA zero-fill."""
+
+    def submit_stash(self, maid: int, asid: int, descriptor: StashDescriptor) -> None:
+        """Queue an L3 stash (prefetch) request."""
+
+
+@dataclass
+class ExecutionTrace:
+    """Record of one executed instruction, for tests and debugging."""
+
+    instruction: Instruction
+    maid: Optional[int]
+    status_word: Optional[int]
+    cycles: int
+
+
+#: Nominal CPU-side cost of each MPAIS instruction in CPU cycles.  MA_CFG and the
+#: data-migration instructions are a short sequence of micro-operations (request an
+#: MTQ entry, read six registers, send a command packet to the MMAE); the queries are
+#: register reads plus a response wait.
+INSTRUCTION_CYCLES = {
+    Opcode.MA_CFG: 12,
+    Opcode.MA_MOVE: 10,
+    Opcode.MA_INIT: 10,
+    Opcode.MA_STASH: 10,
+    Opcode.MA_READ: 6,
+    Opcode.MA_STATE: 8,
+    Opcode.MA_CLEAR: 4,
+}
+
+
+class MPAISExecutor:
+    """Executes MPAIS instructions against a register file, an MTQ and an MMAE."""
+
+    def __init__(
+        self,
+        registers: RegisterFile,
+        mtq: MTQPort,
+        mmae: MMAEPort,
+        asid: int = 0,
+    ) -> None:
+        self.registers = registers
+        self.mtq = mtq
+        self.mmae = mmae
+        self.asid = asid
+        self.trace: List[ExecutionTrace] = []
+        self.cycles_executed = 0
+
+    def set_asid(self, asid: int) -> None:
+        """Switch the current process context (used by the process manager)."""
+        if asid < 0:
+            raise ValueError("ASID must be non-negative")
+        self.asid = asid
+
+    # ----------------------------------------------------------------- execution
+    def execute(self, instruction: Instruction) -> ExecutionTrace:
+        """Execute one instruction and return its trace entry."""
+        handler = {
+            Opcode.MA_CFG: self._execute_cfg,
+            Opcode.MA_MOVE: self._execute_move,
+            Opcode.MA_INIT: self._execute_init,
+            Opcode.MA_STASH: self._execute_stash,
+            Opcode.MA_READ: self._execute_read,
+            Opcode.MA_STATE: self._execute_state,
+            Opcode.MA_CLEAR: self._execute_clear,
+        }[instruction.opcode]
+        trace = handler(instruction)
+        self.trace.append(trace)
+        self.cycles_executed += trace.cycles
+        return trace
+
+    def execute_program(self, program) -> List[ExecutionTrace]:
+        """Execute every instruction of an assembled :class:`~repro.isa.assembler.Program`."""
+        return [self.execute(instruction) for instruction in program]
+
+    # ------------------------------------------------------------------ handlers
+    def _read_parameters(self, instruction: Instruction) -> List[int]:
+        return self.registers.read_block(instruction.rn, PARAMETER_REGISTERS)
+
+    def _allocate_entry(self, instruction: Instruction) -> int:
+        maid = self.mtq.allocate(self.asid)
+        if maid is None:
+            raise MPAISExecutionError(
+                f"{instruction.opcode.value}: no free MTQ entry for ASID {self.asid}"
+            )
+        return maid
+
+    def _execute_cfg(self, instruction: Instruction) -> ExecutionTrace:
+        parameters = self._read_parameters(instruction)
+        descriptor = GEMMDescriptor.unpack(parameters)
+        maid = self._allocate_entry(instruction)
+        self.mmae.submit_gemm(maid, self.asid, descriptor)
+        self.registers.write(instruction.rd, maid)
+        return ExecutionTrace(instruction, maid, None, INSTRUCTION_CYCLES[Opcode.MA_CFG])
+
+    def _execute_move(self, instruction: Instruction) -> ExecutionTrace:
+        parameters = self._read_parameters(instruction)
+        descriptor = MoveDescriptor.unpack(parameters)
+        maid = self._allocate_entry(instruction)
+        self.mmae.submit_move(maid, self.asid, descriptor)
+        self.registers.write(instruction.rd, maid)
+        return ExecutionTrace(instruction, maid, None, INSTRUCTION_CYCLES[Opcode.MA_MOVE])
+
+    def _execute_init(self, instruction: Instruction) -> ExecutionTrace:
+        parameters = self._read_parameters(instruction)
+        descriptor = InitDescriptor.unpack(parameters)
+        maid = self._allocate_entry(instruction)
+        self.mmae.submit_init(maid, self.asid, descriptor)
+        self.registers.write(instruction.rd, maid)
+        return ExecutionTrace(instruction, maid, None, INSTRUCTION_CYCLES[Opcode.MA_INIT])
+
+    def _execute_stash(self, instruction: Instruction) -> ExecutionTrace:
+        parameters = self._read_parameters(instruction)
+        descriptor = StashDescriptor.unpack(parameters)
+        maid = self._allocate_entry(instruction)
+        self.mmae.submit_stash(maid, self.asid, descriptor)
+        self.registers.write(instruction.rd, maid)
+        return ExecutionTrace(instruction, maid, None, INSTRUCTION_CYCLES[Opcode.MA_STASH])
+
+    def _execute_read(self, instruction: Instruction) -> ExecutionTrace:
+        maid = self.registers.read(instruction.rn)
+        status = self.mtq.query(maid)
+        self.registers.write(instruction.rd, status)
+        return ExecutionTrace(instruction, maid, status, INSTRUCTION_CYCLES[Opcode.MA_READ])
+
+    def _execute_state(self, instruction: Instruction) -> ExecutionTrace:
+        maid = self.registers.read(instruction.rn)
+        status = self.mtq.query_and_release(maid, self.asid)
+        self.registers.write(instruction.rd, status)
+        return ExecutionTrace(instruction, maid, status, INSTRUCTION_CYCLES[Opcode.MA_STATE])
+
+    def _execute_clear(self, instruction: Instruction) -> ExecutionTrace:
+        maid = self.registers.read(instruction.rn)
+        self.mtq.clear(maid)
+        return ExecutionTrace(instruction, maid, None, INSTRUCTION_CYCLES[Opcode.MA_CLEAR])

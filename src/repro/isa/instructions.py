@@ -1,0 +1,331 @@
+"""MPAIS instruction definitions and register-block parameter packing.
+
+Each MPAIS instruction names a destination register Rd and a base register Rn;
+the actual task parameters live in six successive registers Rn..Rn+5 (paper
+Section III.B).  The descriptor classes below define how GEMM, move, init and
+stash parameters are packed into those six 64-bit registers and unpacked again
+by the MMAE's Slave Task Queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gemm.precision import Precision
+
+#: Number of successive parameter registers read by MA_CFG / data-migration ops.
+PARAMETER_REGISTERS = 6
+
+_MASK16 = (1 << 16) - 1
+_MASK32 = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
+
+
+class Opcode(enum.Enum):
+    """The seven MPAIS instructions (paper Table II)."""
+
+    MA_MOVE = "MA_MOVE"
+    MA_INIT = "MA_INIT"
+    MA_STASH = "MA_STASH"
+    MA_CFG = "MA_CFG"
+    MA_READ = "MA_READ"
+    MA_STATE = "MA_STATE"
+    MA_CLEAR = "MA_CLEAR"
+
+
+@dataclass(frozen=True)
+class InstructionInfo:
+    """Catalogue entry mirroring one row of the paper's Table II."""
+
+    opcode: Opcode
+    function: str
+    description: str
+    usage: str
+
+
+#: The instruction catalogue (paper Table II).
+INSTRUCTION_TABLE: Dict[Opcode, InstructionInfo] = {
+    Opcode.MA_MOVE: InstructionInfo(
+        Opcode.MA_MOVE,
+        "Data migration",
+        "Copy data from source address to destination address.",
+        "MA_MOVE Rd, Rn",
+    ),
+    Opcode.MA_INIT: InstructionInfo(
+        Opcode.MA_INIT,
+        "Data migration",
+        "Set data in destination space to zeros.",
+        "MA_INIT Rd, Rn",
+    ),
+    Opcode.MA_STASH: InstructionInfo(
+        Opcode.MA_STASH,
+        "Data migration",
+        "Perform data prefetch from the external memory to L3 cache.",
+        "MA_STASH Rd, Rn",
+    ),
+    Opcode.MA_CFG: InstructionInfo(
+        Opcode.MA_CFG,
+        "GEMM computing",
+        "Request an MTQ entry for executing a GEMM task.",
+        "MA_CFG Rd, Rn",
+    ),
+    Opcode.MA_READ: InstructionInfo(
+        Opcode.MA_READ,
+        "Task management",
+        "Obtain the execution state of a certain GEMM task.",
+        "MA_READ Rd, Rn",
+    ),
+    Opcode.MA_STATE: InstructionInfo(
+        Opcode.MA_STATE,
+        "Task management",
+        "Obtain execution state of a certain GEMM task and release the occupied MTQ entry.",
+        "MA_STATE Rd, Rn",
+    ),
+    Opcode.MA_CLEAR: InstructionInfo(
+        Opcode.MA_CLEAR,
+        "Task management",
+        "Clear a certain MTQ entry.",
+        "MA_CLEAR, Rn",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One MPAIS instruction instance: opcode plus Rd / Rn register indices."""
+
+    opcode: Opcode
+    rd: int
+    rn: int
+
+    def __post_init__(self) -> None:
+        for name, index in (("rd", self.rd), ("rn", self.rn)):
+            if not 0 <= index <= 31:
+                raise ValueError(f"{self.opcode.value}: register {name}={index} out of range 0..31")
+
+    @property
+    def uses_parameter_block(self) -> bool:
+        """True for instructions that read six successive parameter registers."""
+        return self.opcode in (Opcode.MA_MOVE, Opcode.MA_INIT, Opcode.MA_STASH, Opcode.MA_CFG)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.opcode is Opcode.MA_CLEAR:
+            return f"{self.opcode.value} X{self.rn}"
+        return f"{self.opcode.value} X{self.rd}, X{self.rn}"
+
+
+def _pack_dims(m: int, n: int, k: int) -> int:
+    for name, value in (("m", m), ("n", n), ("k", k)):
+        if not 0 < value <= _MASK16:
+            raise ValueError(f"dimension {name}={value} does not fit in 16 bits")
+    return m | (n << 16) | (k << 32)
+
+
+def _unpack_dims(word: int) -> tuple[int, int, int]:
+    return word & _MASK16, (word >> 16) & _MASK16, (word >> 32) & _MASK16
+
+
+_PRECISION_CODES = {Precision.FP64: 0, Precision.FP32: 1, Precision.FP16: 2}
+_PRECISION_FROM_CODE = {code: precision for precision, code in _PRECISION_CODES.items()}
+
+
+@dataclass(frozen=True)
+class GEMMDescriptor:
+    """Parameters of one tile-GEMM task, as packed into Rn..Rn+5 for MA_CFG.
+
+    Register layout (one 64-bit register per line):
+
+    ===========  =======================================================
+    Rn + 0       virtual address of matrix A
+    Rn + 1       virtual address of matrix B
+    Rn + 2       virtual address of matrix C (accumulated in place)
+    Rn + 3       packed dimensions M | N<<16 | K<<32
+    Rn + 4       packed tiling: tile_rows | tile_cols<<16 | ttr<<32 | ttc<<48
+    Rn + 5       precision code | (lda<<8) | (ldb<<24) | (ldc<<40)
+    ===========  =======================================================
+    """
+
+    addr_a: int
+    addr_b: int
+    addr_c: int
+    m: int
+    n: int
+    k: int
+    precision: Precision = Precision.FP64
+    tile_rows: int = 1024
+    tile_cols: int = 1024
+    ttr: int = 64
+    ttc: int = 64
+    lda: int = 0  # leading dimensions; 0 means "dense" (lda = k, ldb = n, ldc = n)
+    ldb: int = 0
+    ldc: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("addr_a", "addr_b", "addr_c"):
+            value = getattr(self, name)
+            if not 0 <= value <= _MASK64:
+                raise ValueError(f"{name}={value:#x} is not a valid 64-bit address")
+        for name in ("m", "n", "k"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"dimension {name} must be positive")
+        for name in ("tile_rows", "tile_cols", "ttr", "ttc"):
+            value = getattr(self, name)
+            if not 0 < value <= _MASK16:
+                raise ValueError(f"{name}={value} must fit in 16 bits and be positive")
+        if self.ttr > self.tile_rows or self.ttc > self.tile_cols:
+            raise ValueError("second-level tile cannot exceed the first-level tile")
+
+    @property
+    def effective_lda(self) -> int:
+        return self.lda if self.lda else self.k
+
+    @property
+    def effective_ldb(self) -> int:
+        return self.ldb if self.ldb else self.n
+
+    @property
+    def effective_ldc(self) -> int:
+        return self.ldc if self.ldc else self.n
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+    def pack(self) -> List[int]:
+        """Pack into the six parameter registers."""
+        tiling = (
+            self.tile_rows
+            | (self.tile_cols << 16)
+            | (self.ttr << 32)
+            | (self.ttc << 48)
+        )
+        # Leading dimensions are packed as given (0 keeps the "dense" default),
+        # so unpacking reproduces the descriptor exactly.
+        meta = (
+            _PRECISION_CODES[self.precision]
+            | ((self.lda & _MASK16) << 8)
+            | ((self.ldb & _MASK16) << 24)
+            | ((self.ldc & _MASK16) << 40)
+        )
+        return [
+            self.addr_a & _MASK64,
+            self.addr_b & _MASK64,
+            self.addr_c & _MASK64,
+            _pack_dims(self.m, self.n, self.k),
+            tiling,
+            meta,
+        ]
+
+    @classmethod
+    def unpack(cls, registers: List[int]) -> "GEMMDescriptor":
+        """Reconstruct a descriptor from the six parameter registers."""
+        if len(registers) != PARAMETER_REGISTERS:
+            raise ValueError(f"expected {PARAMETER_REGISTERS} registers, got {len(registers)}")
+        addr_a, addr_b, addr_c, dims, tiling, meta = registers
+        m, n, k = _unpack_dims(dims)
+        precision_code = meta & 0xFF
+        if precision_code not in _PRECISION_FROM_CODE:
+            raise ValueError(f"invalid precision code {precision_code}")
+        return cls(
+            addr_a=addr_a,
+            addr_b=addr_b,
+            addr_c=addr_c,
+            m=m,
+            n=n,
+            k=k,
+            precision=_PRECISION_FROM_CODE[precision_code],
+            tile_rows=tiling & _MASK16,
+            tile_cols=(tiling >> 16) & _MASK16,
+            ttr=(tiling >> 32) & _MASK16,
+            ttc=(tiling >> 48) & _MASK16,
+            lda=(meta >> 8) & _MASK16,
+            ldb=(meta >> 24) & _MASK16,
+            ldc=(meta >> 40) & _MASK16,
+        )
+
+
+@dataclass(frozen=True)
+class MoveDescriptor:
+    """Parameters of an MA_MOVE bulk copy."""
+
+    src_addr: int
+    dst_addr: int
+    length_bytes: int
+    element_bytes: int = 8
+    src_stride_bytes: int = 0  # 0 means contiguous
+    dst_stride_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0:
+            raise ValueError("length must be positive")
+        if self.element_bytes not in (2, 4, 8):
+            raise ValueError("element size must be 2, 4 or 8 bytes")
+
+    def pack(self) -> List[int]:
+        return [
+            self.src_addr & _MASK64,
+            self.dst_addr & _MASK64,
+            self.length_bytes & _MASK64,
+            self.element_bytes,
+            self.src_stride_bytes & _MASK64,
+            self.dst_stride_bytes & _MASK64,
+        ]
+
+    @classmethod
+    def unpack(cls, registers: List[int]) -> "MoveDescriptor":
+        if len(registers) != PARAMETER_REGISTERS:
+            raise ValueError("expected six parameter registers")
+        return cls(
+            src_addr=registers[0],
+            dst_addr=registers[1],
+            length_bytes=registers[2],
+            element_bytes=registers[3],
+            src_stride_bytes=registers[4],
+            dst_stride_bytes=registers[5],
+        )
+
+
+@dataclass(frozen=True)
+class InitDescriptor:
+    """Parameters of an MA_INIT zero-fill."""
+
+    dst_addr: int
+    length_bytes: int
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0:
+            raise ValueError("length must be positive")
+
+    def pack(self) -> List[int]:
+        return [self.dst_addr & _MASK64, self.length_bytes & _MASK64, self.element_bytes, 0, 0, 0]
+
+    @classmethod
+    def unpack(cls, registers: List[int]) -> "InitDescriptor":
+        if len(registers) != PARAMETER_REGISTERS:
+            raise ValueError("expected six parameter registers")
+        return cls(dst_addr=registers[0], length_bytes=registers[1], element_bytes=registers[2] or 8)
+
+
+@dataclass(frozen=True)
+class StashDescriptor:
+    """Parameters of an MA_STASH prefetch (optionally with L3 locking)."""
+
+    addr: int
+    length_bytes: int
+    lock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0:
+            raise ValueError("length must be positive")
+
+    def pack(self) -> List[int]:
+        return [self.addr & _MASK64, self.length_bytes & _MASK64, int(self.lock), 0, 0, 0]
+
+    @classmethod
+    def unpack(cls, registers: List[int]) -> "StashDescriptor":
+        if len(registers) != PARAMETER_REGISTERS:
+            raise ValueError("expected six parameter registers")
+        return cls(addr=registers[0], length_bytes=registers[1], lock=bool(registers[2]))

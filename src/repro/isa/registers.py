@@ -1,0 +1,77 @@
+"""The general-purpose register file seen by MPAIS instructions.
+
+MPAIS instructions reference ARMv8 64-bit general registers X0..X30 (X31 reads
+as the zero register, as in AArch64).  The MA_CFG family reads six successive
+registers Rn..Rn+5 holding the packed task parameters and writes the allocated
+MAID into Rd.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+NUM_REGISTERS = 32
+ZERO_REGISTER = 31
+REGISTER_MASK = (1 << 64) - 1
+
+
+class RegisterFile:
+    """Thirty-one 64-bit general registers plus the hardwired zero register."""
+
+    def __init__(self) -> None:
+        self._values: List[int] = [0] * NUM_REGISTERS
+
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not 0 <= index < NUM_REGISTERS:
+            raise ValueError(f"register index {index} out of range 0..{NUM_REGISTERS - 1}")
+
+    def read(self, index: int) -> int:
+        """Read register ``X<index>`` (X31 always reads zero)."""
+        self._check_index(index)
+        if index == ZERO_REGISTER:
+            return 0
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write register ``X<index>`` (writes to X31 are discarded)."""
+        self._check_index(index)
+        if index == ZERO_REGISTER:
+            return
+        if value < 0:
+            raise ValueError(f"register values are unsigned 64-bit, got {value}")
+        self._values[index] = value & REGISTER_MASK
+
+    def read_block(self, start: int, count: int) -> List[int]:
+        """Read ``count`` successive registers starting at ``X<start>``.
+
+        MA_CFG and the data-migration instructions read six successive
+        registers; the block must not wrap past X30.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if start + count > ZERO_REGISTER:
+            raise ValueError(
+                f"register block X{start}..X{start + count - 1} exceeds X{ZERO_REGISTER - 1}"
+            )
+        return [self.read(start + offset) for offset in range(count)]
+
+    def write_block(self, start: int, values: List[int]) -> None:
+        """Write successive registers starting at ``X<start>``."""
+        if start + len(values) > ZERO_REGISTER:
+            raise ValueError("register block exceeds X30")
+        for offset, value in enumerate(values):
+            self.write(start + offset, value)
+
+    def snapshot(self) -> List[int]:
+        """Copy of all register values (used by context switching)."""
+        return list(self._values)
+
+    def restore(self, values: List[int]) -> None:
+        if len(values) != NUM_REGISTERS:
+            raise ValueError(f"snapshot must have {NUM_REGISTERS} values")
+        self._values = [value & REGISTER_MASK for value in values]
+        self._values[ZERO_REGISTER] = 0
+
+    def reset(self) -> None:
+        self._values = [0] * NUM_REGISTERS

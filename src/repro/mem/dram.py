@@ -1,0 +1,97 @@
+"""DDR memory controller / DRAM bandwidth-latency model.
+
+The NoC provides up to 128 GB/s per compute node (paper Section III.A); the
+DDR controllers behind the CCMs provide a finite aggregate bandwidth that
+becomes the bottleneck when many nodes stream large matrices simultaneously —
+the effect behind the Fig. 7 scalability loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Aggregate DRAM subsystem parameters."""
+
+    num_channels: int = 4
+    channel_bandwidth_bytes_per_s: float = 51.2e9  # e.g. one DDR5-6400 64-bit channel
+    access_latency_ns: float = 80.0
+    row_buffer_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if self.channel_bandwidth_bytes_per_s <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        if self.access_latency_ns < 0:
+            raise ValueError("access latency cannot be negative")
+
+    @property
+    def total_bandwidth_bytes_per_s(self) -> float:
+        return self.num_channels * self.channel_bandwidth_bytes_per_s
+
+
+@dataclass
+class DRAMModel:
+    """Tracks DRAM traffic and converts transfer sizes into time.
+
+    The model is a bandwidth-latency (LogGP-style) abstraction: a transfer of
+    ``size`` bytes costs ``access_latency + size / effective_bandwidth``, where
+    the effective bandwidth shrinks as more agents stream concurrently.
+    """
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    requests: int = 0
+
+    def effective_bandwidth(self, concurrent_streams: int = 1) -> float:
+        """Aggregate bandwidth available to ``concurrent_streams`` equal streams.
+
+        Channel-level parallelism lets a handful of streams use the full
+        aggregate bandwidth; beyond that, bank conflicts and row-buffer misses
+        erode efficiency slightly (empirically ~3% per extra stream, floor 70%).
+        """
+        if concurrent_streams <= 0:
+            raise ValueError("concurrent_streams must be positive")
+        total = self.config.total_bandwidth_bytes_per_s
+        if concurrent_streams <= self.config.num_channels:
+            return total
+        excess = concurrent_streams - self.config.num_channels
+        efficiency = max(0.70, 1.0 - 0.03 * excess)
+        return total * efficiency
+
+    def transfer_time_s(self, size_bytes: int, concurrent_streams: int = 1, write: bool = False) -> float:
+        """Time to move ``size_bytes`` to/from DRAM given the stream count."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes cannot be negative")
+        self.requests += 1
+        if write:
+            self.bytes_written += size_bytes
+        else:
+            self.bytes_read += size_bytes
+        bandwidth_share = self.effective_bandwidth(concurrent_streams) / concurrent_streams
+        return self.config.access_latency_ns * 1e-9 + size_bytes / bandwidth_share
+
+    def per_stream_bandwidth(self, concurrent_streams: int = 1) -> float:
+        """Bandwidth one of ``concurrent_streams`` equal streams can sustain."""
+        return self.effective_bandwidth(concurrent_streams) / concurrent_streams
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def traffic_summary(self) -> Dict[str, float]:
+        return {
+            "bytes_read": float(self.bytes_read),
+            "bytes_written": float(self.bytes_written),
+            "requests": float(self.requests),
+        }
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests = 0

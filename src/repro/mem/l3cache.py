@@ -1,0 +1,213 @@
+"""The distributed L3 "system cache" with stash and lock support.
+
+The L3 is distributed among the CCMs on the mesh and shared by all compute
+nodes (paper Section III.A).  The paper's GEMM+ mapping scheme relies on two
+operations this model provides (Section IV.B, Fig. 5(b)):
+
+* **stash** — prefetch a region from main memory into the L3 ahead of use
+  (issued by the MA_STASH instruction or by the MMAE itself), and
+* **lock** — pin the stashed lines so the GEMM working set cannot be evicted
+  while the CPU's non-GEMM operators and the MMAE's DMA streams share the L3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mem.address import AddressRange, DEFAULT_LINE_SIZE
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.coherence import DirectoryController
+
+
+@dataclass(frozen=True)
+class StashRequest:
+    """A request to prefetch (and optionally lock) an address range into the L3."""
+
+    range: AddressRange
+    lock: bool = False
+    requester: int = 0  # node id issuing the stash
+
+
+@dataclass
+class StashResult:
+    """Outcome of a stash operation."""
+
+    lines_fetched: int
+    lines_already_resident: int
+    lines_locked: int
+    bytes_fetched: int
+
+
+@dataclass
+class L3AccessResult:
+    hit: bool
+    latency_cycles: int
+    from_dram: bool
+
+
+class L3Slice:
+    """One CCM's slice of the system cache: a set-associative array plus a directory."""
+
+    def __init__(self, slice_id: int, config: CacheConfig) -> None:
+        self.slice_id = slice_id
+        self.cache = SetAssociativeCache(config)
+        self.directory = DirectoryController(name=f"ccm{slice_id}")
+
+    @property
+    def config(self) -> CacheConfig:
+        return self.cache.config
+
+
+class DistributedL3Cache:
+    """The full system cache: ``num_slices`` L3 slices, line-interleaved by address.
+
+    Latency parameters are expressed in NoC cycles; the caller converts to the
+    relevant clock domain.  ``dram_latency_cycles`` is the extra cost of a miss
+    serviced by the DDR controller.
+    """
+
+    def __init__(
+        self,
+        num_slices: int = 4,
+        slice_size_bytes: int = 8 * 1024 * 1024,
+        associativity: int = 16,
+        line_size: int = DEFAULT_LINE_SIZE,
+        hit_latency_cycles: int = 40,
+        dram_latency_cycles: int = 160,
+        max_locked_fraction: float = 0.75,
+    ) -> None:
+        if num_slices <= 0:
+            raise ValueError("num_slices must be positive")
+        if not 0.0 < max_locked_fraction <= 1.0:
+            raise ValueError("max_locked_fraction must be in (0, 1]")
+        self.line_size = line_size
+        self.hit_latency_cycles = hit_latency_cycles
+        self.dram_latency_cycles = dram_latency_cycles
+        self.max_locked_fraction = max_locked_fraction
+        self.slices: List[L3Slice] = [
+            L3Slice(
+                slice_id,
+                CacheConfig(
+                    name=f"l3.slice{slice_id}",
+                    size_bytes=slice_size_bytes,
+                    associativity=associativity,
+                    line_size=line_size,
+                    hit_latency_cycles=hit_latency_cycles,
+                ),
+            )
+            for slice_id in range(num_slices)
+        ]
+        self.stash_requests = 0
+        self.locked_bytes = 0
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def num_slices(self) -> int:
+        return len(self.slices)
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(s.config.size_bytes for s in self.slices)
+
+    @property
+    def total_locked_lines(self) -> int:
+        return sum(s.cache.locked_lines for s in self.slices)
+
+    def slice_for(self, address: int) -> L3Slice:
+        """Line-interleaved home-slice mapping."""
+        return self.slices[(address // self.line_size) % self.num_slices]
+
+    # -------------------------------------------------------------------- access
+    def access(self, node_id: int, address: int, write: bool = False) -> L3AccessResult:
+        """Access one line on behalf of ``node_id`` (CPU or MMAE DMA)."""
+        home = self.slice_for(address)
+        if write:
+            home.directory.handle_write(node_id, self._line_address(address))
+        else:
+            home.directory.handle_read(node_id, self._line_address(address))
+        result = home.cache.access(address, write=write)
+        if result.hit:
+            return L3AccessResult(True, self.hit_latency_cycles, from_dram=False)
+        return L3AccessResult(
+            False, self.hit_latency_cycles + self.dram_latency_cycles, from_dram=True
+        )
+
+    def access_range(self, node_id: int, byte_range: AddressRange, write: bool = False) -> Dict[str, int]:
+        """Access every line of a byte range; returns hit/miss line counts."""
+        hits = 0
+        misses = 0
+        for line_address in byte_range.lines(self.line_size):
+            if self.access(node_id, line_address, write=write).hit:
+                hits += 1
+            else:
+                misses += 1
+        return {"hits": hits, "misses": misses}
+
+    def _line_address(self, address: int) -> int:
+        return address - (address % self.line_size)
+
+    def probe(self, address: int) -> bool:
+        return self.slice_for(address).cache.probe(address)
+
+    # --------------------------------------------------------------- stash / lock
+    def stash(self, request: StashRequest) -> StashResult:
+        """Prefetch ``request.range`` into the L3, optionally locking the lines.
+
+        Locking is refused (the line is still stashed, just not pinned) once the
+        locked fraction of the cache would exceed ``max_locked_fraction`` — the
+        hardware must always keep some ways available for demand traffic.
+        """
+        self.stash_requests += 1
+        fetched = 0
+        resident = 0
+        locked = 0
+        lock_budget_lines = int(
+            self.max_locked_fraction * sum(s.config.num_lines for s in self.slices)
+        )
+        for line_address in request.range.lines(self.line_size):
+            home = self.slice_for(line_address)
+            if home.cache.probe(line_address):
+                resident += 1
+            else:
+                home.cache.fill(line_address)
+                home.directory.handle_read(request.requester, line_address)
+                fetched += 1
+            if request.lock and self.total_locked_lines < lock_budget_lines:
+                if home.cache.lock(line_address):
+                    locked += 1
+        self.locked_bytes += locked * self.line_size
+        return StashResult(
+            lines_fetched=fetched,
+            lines_already_resident=resident,
+            lines_locked=locked,
+            bytes_fetched=fetched * self.line_size,
+        )
+
+    def unlock_range(self, byte_range: AddressRange) -> int:
+        """Unpin every line of a range; returns the number of lines unlocked."""
+        unlocked = 0
+        for line_address in byte_range.lines(self.line_size):
+            if self.slice_for(line_address).cache.unlock(line_address):
+                unlocked += 1
+        self.locked_bytes = max(0, self.locked_bytes - unlocked * self.line_size)
+        return unlocked
+
+    def unlock_all(self) -> int:
+        unlocked = sum(s.cache.unlock_all() for s in self.slices)
+        self.locked_bytes = 0
+        return unlocked
+
+    # ------------------------------------------------------------------- metrics
+    def hit_rate(self) -> float:
+        hits = sum(s.cache.stats.hits for s in self.slices)
+        accesses = sum(s.cache.stats.accesses for s in self.slices)
+        return hits / accesses if accesses else 0.0
+
+    def residency_of(self, byte_range: AddressRange) -> float:
+        """Fraction of the range's lines currently resident in the L3."""
+        lines = byte_range.lines(self.line_size)
+        if not lines:
+            return 0.0
+        resident = sum(1 for line in lines if self.probe(line))
+        return resident / len(lines)

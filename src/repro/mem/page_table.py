@@ -1,0 +1,204 @@
+"""Page tables, address spaces and the page-table walker.
+
+MACO runs a modified Linux on the FPGA prototype; for the reproduction we only
+need the parts of virtual memory that the MMAE interacts with: per-process
+(ASID-tagged) page tables, a frame allocator, and a page-table walker whose
+latency is what the mATLB's predictive translation hides (paper Section IV.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.mem.address import DEFAULT_PAGE_SIZE, page_number, page_offset
+
+
+class PageFaultError(Exception):
+    """Raised when a virtual address has no mapping in the current address space."""
+
+    def __init__(self, asid: int, vaddr: int) -> None:
+        super().__init__(f"page fault: ASID {asid}, virtual address {vaddr:#x}")
+        self.asid = asid
+        self.vaddr = vaddr
+
+
+@dataclass
+class FrameAllocator:
+    """Hands out physical frames from a flat physical address space."""
+
+    total_frames: int
+    page_size: int = DEFAULT_PAGE_SIZE
+    _next_frame: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.total_frames <= 0:
+            raise ValueError("total_frames must be positive")
+
+    @property
+    def frames_allocated(self) -> int:
+        return self._next_frame
+
+    @property
+    def frames_free(self) -> int:
+        return self.total_frames - self._next_frame
+
+    def allocate(self, count: int = 1) -> list[int]:
+        """Allocate ``count`` consecutive physical frame numbers."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self._next_frame + count > self.total_frames:
+            raise MemoryError(
+                f"out of physical frames: requested {count}, free {self.frames_free}"
+            )
+        frames = list(range(self._next_frame, self._next_frame + count))
+        self._next_frame += count
+        return frames
+
+
+@dataclass
+class PageTable:
+    """A per-process map from virtual page numbers to physical frame numbers.
+
+    The model is flat but the walker charges the latency of a multi-level walk
+    (``levels`` memory accesses), which is what matters for Fig. 6.
+    """
+
+    asid: int
+    page_size: int = DEFAULT_PAGE_SIZE
+    levels: int = 4
+    _entries: Dict[int, int] = field(default_factory=dict, init=False)
+
+    def map_page(self, vpn: int, pfn: int) -> None:
+        if vpn < 0 or pfn < 0:
+            raise ValueError("page numbers must be non-negative")
+        self._entries[vpn] = pfn
+
+    def unmap_page(self, vpn: int) -> None:
+        self._entries.pop(vpn, None)
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        return self._entries.get(vpn)
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return page_number(vaddr, self.page_size) in self._entries
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual address; raises :class:`PageFaultError` if unmapped."""
+        vpn = page_number(vaddr, self.page_size)
+        pfn = self._entries.get(vpn)
+        if pfn is None:
+            raise PageFaultError(self.asid, vaddr)
+        return pfn * self.page_size + page_offset(vaddr, self.page_size)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class AddressSpace:
+    """An ASID plus its page table and a simple bump allocator for regions."""
+
+    asid: int
+    frame_allocator: FrameAllocator
+    page_size: int = DEFAULT_PAGE_SIZE
+    page_table: PageTable = field(init=False)
+    _next_vaddr: int = field(default=0x10_0000, init=False)
+    _regions: Dict[str, tuple[int, int]] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.page_table = PageTable(asid=self.asid, page_size=self.page_size)
+
+    def allocate_region(self, name: str, size_bytes: int) -> int:
+        """Allocate and map a named, page-aligned region; returns its base virtual address."""
+        if size_bytes <= 0:
+            raise ValueError("region size must be positive")
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        pages = -(-size_bytes // self.page_size)
+        base_vaddr = self._next_vaddr
+        base_vpn = page_number(base_vaddr, self.page_size)
+        frames = self.frame_allocator.allocate(pages)
+        for offset, pfn in enumerate(frames):
+            self.page_table.map_page(base_vpn + offset, pfn)
+        self._next_vaddr += pages * self.page_size
+        self._regions[name] = (base_vaddr, size_bytes)
+        return base_vaddr
+
+    def region(self, name: str) -> tuple[int, int]:
+        """Return ``(base_vaddr, size_bytes)`` of a previously allocated region."""
+        if name not in self._regions:
+            raise KeyError(f"no region named {name!r}")
+        return self._regions[name]
+
+    def regions(self) -> Iterable[str]:
+        return self._regions.keys()
+
+    def translate(self, vaddr: int) -> int:
+        return self.page_table.translate(vaddr)
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a page-table walk."""
+
+    paddr: int
+    cycles: int
+    memory_accesses: int
+
+
+class PageTableWalker:
+    """Charges the latency of walking a multi-level page table.
+
+    Each level costs one memory access; accesses that hit in the (physically
+    tagged) cache hierarchy are cheaper than those that go to DRAM.  The walker
+    keeps a small cache of recently used page-table lines to model the common
+    case where consecutive walks share upper-level entries.
+    """
+
+    def __init__(
+        self,
+        memory_latency_cycles: int = 160,
+        cached_level_latency_cycles: int = 12,
+        walk_cache_entries: int = 64,
+    ) -> None:
+        if memory_latency_cycles <= 0 or cached_level_latency_cycles <= 0:
+            raise ValueError("latencies must be positive")
+        self.memory_latency_cycles = memory_latency_cycles
+        self.cached_level_latency_cycles = cached_level_latency_cycles
+        self.walk_cache_entries = walk_cache_entries
+        self._walk_cache: Dict[tuple[int, int], bool] = {}
+        self.walks_performed = 0
+        self.total_walk_cycles = 0
+
+    def walk(self, page_table: PageTable, vaddr: int) -> WalkResult:
+        """Walk ``page_table`` for ``vaddr``, returning the translation and its cost."""
+        paddr = page_table.translate(vaddr)  # raises PageFaultError if unmapped
+        vpn = page_number(vaddr, page_table.page_size)
+        cycles = 0
+        accesses = 0
+        for level in range(page_table.levels):
+            # Upper levels cover huge regions, so they almost always hit the walk cache;
+            # the leaf level is the one that typically misses for streaming access.
+            key = (page_table.asid, vpn >> (9 * (page_table.levels - 1 - level)))
+            accesses += 1
+            if key in self._walk_cache:
+                cycles += self.cached_level_latency_cycles
+            else:
+                cycles += self.memory_latency_cycles
+                self._insert_walk_cache(key)
+        self.walks_performed += 1
+        self.total_walk_cycles += cycles
+        return WalkResult(paddr=paddr, cycles=cycles, memory_accesses=accesses)
+
+    def _insert_walk_cache(self, key: tuple[int, int]) -> None:
+        if len(self._walk_cache) >= self.walk_cache_entries:
+            # FIFO eviction is good enough for a latency model.
+            oldest = next(iter(self._walk_cache))
+            del self._walk_cache[oldest]
+        self._walk_cache[key] = True
+
+    @property
+    def average_walk_cycles(self) -> float:
+        return self.total_walk_cycles / self.walks_performed if self.walks_performed else 0.0

@@ -1,0 +1,163 @@
+"""TLB models: single level and the ITLB/DTLB + shared L2 TLB hierarchy of Table I."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.address import DEFAULT_PAGE_SIZE, page_number, page_offset
+from repro.mem.page_table import PageTable, PageTableWalker
+
+
+@dataclass(frozen=True)
+class TLBEntry:
+    """One cached translation."""
+
+    asid: int
+    vpn: int
+    pfn: int
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """A fully associative, LRU-replaced TLB (the paper's TLBs are fully associative)."""
+
+    def __init__(self, entries: int, page_size: int = DEFAULT_PAGE_SIZE, name: str = "tlb") -> None:
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.capacity = entries
+        self.page_size = page_size
+        self.name = name
+        self.stats = TLBStats()
+        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, asid: int, vaddr: int) -> Optional[int]:
+        """Return the physical address on hit, ``None`` on miss (stats are updated)."""
+        vpn = page_number(vaddr, self.page_size)
+        key = (asid, vpn)
+        pfn = self._entries.get(key)
+        if pfn is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return pfn * self.page_size + page_offset(vaddr, self.page_size)
+
+    def probe(self, asid: int, vaddr: int) -> bool:
+        """Check for a translation without touching LRU state or stats."""
+        return (asid, page_number(vaddr, self.page_size)) in self._entries
+
+    def insert(self, asid: int, vaddr: int, paddr: int) -> None:
+        """Install a translation, evicting the least recently used entry if full."""
+        vpn = page_number(vaddr, self.page_size)
+        pfn = page_number(paddr, self.page_size)
+        key = (asid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = pfn
+
+    def flush(self, asid: Optional[int] = None) -> None:
+        """Invalidate all entries, or only those of one ASID."""
+        self.stats.flushes += 1
+        if asid is None:
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[0] == asid]
+            for key in stale:
+                del self._entries[key]
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of a translation through the TLB hierarchy."""
+
+    paddr: int
+    cycles: int
+    level: str  # "l1", "l2" or "walk"
+
+    @property
+    def hit(self) -> bool:
+        return self.level != "walk"
+
+
+class TLBHierarchy:
+    """The per-core translation machinery: L1 TLB, shared L2 TLB, page-table walker.
+
+    The MMAE shares the CPU core's L2 ("shared") TLB via a customised interface
+    (paper Section III.A); :meth:`translate` is the path exercised both by CPU
+    loads/stores and by mATLB pre-walk requests.
+    """
+
+    def __init__(
+        self,
+        l1_entries: int = 48,
+        l2_entries: int = 1024,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        l1_latency_cycles: int = 1,
+        l2_latency_cycles: int = 4,
+        walker: Optional[PageTableWalker] = None,
+        name: str = "dtlb",
+    ) -> None:
+        self.l1 = TLB(l1_entries, page_size, name=f"{name}.l1")
+        self.l2 = TLB(l2_entries, page_size, name=f"{name}.l2")
+        self.page_size = page_size
+        self.l1_latency_cycles = l1_latency_cycles
+        self.l2_latency_cycles = l2_latency_cycles
+        self.walker = walker if walker is not None else PageTableWalker()
+        self.name = name
+
+    def translate(self, page_table: PageTable, vaddr: int) -> TranslationResult:
+        """Translate ``vaddr`` for the address space behind ``page_table``."""
+        asid = page_table.asid
+        paddr = self.l1.lookup(asid, vaddr)
+        if paddr is not None:
+            return TranslationResult(paddr, self.l1_latency_cycles, "l1")
+        paddr = self.l2.lookup(asid, vaddr)
+        if paddr is not None:
+            self.l1.insert(asid, vaddr, paddr)
+            return TranslationResult(paddr, self.l1_latency_cycles + self.l2_latency_cycles, "l2")
+        walk = self.walker.walk(page_table, vaddr)
+        self.l1.insert(asid, vaddr, walk.paddr)
+        self.l2.insert(asid, vaddr, walk.paddr)
+        cycles = self.l1_latency_cycles + self.l2_latency_cycles + walk.cycles
+        return TranslationResult(walk.paddr, cycles, "walk")
+
+    def prewalk(self, page_table: PageTable, vaddr: int) -> TranslationResult:
+        """Install a translation ahead of use (issued by the mATLB).
+
+        Identical to :meth:`translate` except the caller treats the returned
+        cycles as background work that can overlap with computation.
+        """
+        return self.translate(page_table, vaddr)
+
+    def flush(self, asid: Optional[int] = None) -> None:
+        self.l1.flush(asid)
+        self.l2.flush(asid)
+
+    @property
+    def total_misses(self) -> int:
+        return self.l2.stats.misses
+
+    @property
+    def total_accesses(self) -> int:
+        return self.l1.stats.accesses

@@ -1,0 +1,154 @@
+"""The Accelerator Data Engine (ADE).
+
+The ADE owns the MMAE's two DMA engines and is responsible for moving tile
+data between the L3 system cache and the A/B/C scratchpad buffers (paper
+Fig. 2(a)).  For the functional execution path it also performs the actual
+NumPy sub-block reads/writes against the :class:`~repro.mem.hostmem.HostMemory`
+view, translating virtual addresses through the mATLB (predictive path) or the
+shared MMU (demand path) so the tests exercise the same translation machinery
+the timing model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gemm.tiling import Tile
+from repro.isa.instructions import GEMMDescriptor
+from repro.mem.hostmem import HostMemory
+from repro.mmae.buffers import BufferSet
+from repro.mmae.dma import DMAEngine, DMATransferResult
+from repro.mmae.matlb import MATLB, MatrixLayout
+
+
+@dataclass
+class TileTransferPlan:
+    """Byte volumes a second-level tile moves through the DMA engines."""
+
+    a_bytes: int
+    b_bytes: int
+    c_read_bytes: int
+    c_write_bytes: int
+
+    @property
+    def load_bytes(self) -> int:
+        return self.a_bytes + self.b_bytes + self.c_read_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.load_bytes + self.c_write_bytes
+
+
+class AcceleratorDataEngine:
+    """Schedules tile transfers over the MMAE's DMA engines."""
+
+    def __init__(
+        self,
+        buffers: Optional[BufferSet] = None,
+        num_engines: int = 2,
+        frequency_hz: float = 2.5e9,
+        matlb: Optional[MATLB] = None,
+    ) -> None:
+        if num_engines <= 0:
+            raise ValueError("the ADE needs at least one DMA engine")
+        self.buffers = buffers if buffers is not None else BufferSet()
+        self.engines: List[DMAEngine] = [
+            DMAEngine(engine_id=index, frequency_hz=frequency_hz) for index in range(num_engines)
+        ]
+        self.matlb = matlb if matlb is not None else MATLB()
+        self.translation_stall_cycles = 0
+        self.demand_translations = 0
+
+    # ------------------------------------------------------------------ planning
+    @staticmethod
+    def plan_tile(tile: Tile, element_bytes: int, accumulate: bool) -> TileTransferPlan:
+        """Transfer plan for one second-level tile.
+
+        ``accumulate`` is True when the C tile holds partial sums from a
+        previous K block and must therefore be read before the MACs and written
+        back afterwards; the first K block only writes.
+        """
+        a_bytes = tile.rows * tile.depth * element_bytes
+        b_bytes = tile.depth * tile.cols * element_bytes
+        c_bytes = tile.rows * tile.cols * element_bytes
+        return TileTransferPlan(
+            a_bytes=a_bytes,
+            b_bytes=b_bytes,
+            c_read_bytes=c_bytes if accumulate else 0,
+            c_write_bytes=c_bytes,
+        )
+
+    def transfer_cycles(self, plan: TileTransferPlan, round_trip_latency_cycles: float = 0.0) -> int:
+        """Cycles to move a tile's data, splitting the load across both engines."""
+        per_engine = plan.total_bytes / len(self.engines)
+        results = [
+            engine.transfer(int(round(per_engine)), round_trip_latency_cycles)
+            for engine in self.engines
+        ]
+        return max(result.total_cycles for result in results)
+
+    # ----------------------------------------------------------------- functional
+    def load_operands(
+        self,
+        memory: HostMemory,
+        descriptor: GEMMDescriptor,
+        tile: Tile,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read the A, B and C sub-blocks of a tile from host memory."""
+        a = memory.matrix_at(descriptor.addr_a)
+        b = memory.matrix_at(descriptor.addr_b)
+        c = memory.matrix_at(descriptor.addr_c)
+        a_block = a[tile.row_start : tile.row_end, tile.k_start : tile.k_end]
+        b_block = b[tile.k_start : tile.k_end, tile.col_start : tile.col_end]
+        c_block = c[tile.row_start : tile.row_end, tile.col_start : tile.col_end]
+        return a_block, b_block, c_block
+
+    def store_result(
+        self,
+        memory: HostMemory,
+        descriptor: GEMMDescriptor,
+        tile: Tile,
+        values: np.ndarray,
+    ) -> None:
+        """Write a computed C sub-block back to host memory in the C matrix's dtype."""
+        c = memory.matrix_at(descriptor.addr_c)
+        c[tile.row_start : tile.row_end, tile.col_start : tile.col_end] = values.astype(c.dtype)
+
+    # ---------------------------------------------------------------- translation
+    def translate_tile(
+        self,
+        mmu,
+        asid: int,
+        layout: MatrixLayout,
+        tile_rows: Tuple[int, int],
+        tile_cols: Tuple[int, int],
+        prediction_enabled: bool,
+    ) -> int:
+        """Translate every page a tile touches; returns the exposed stall cycles.
+
+        With prediction the mATLB pre-walks the pages (walk cycles are treated
+        as hidden) and the demand lookups hit; without prediction each page
+        missing from the mATLB costs a demand walk through the shared MMU.
+        """
+        row_start, row_count = tile_rows
+        col_start, col_count = tile_cols
+        pages = self.matlb.predictor.tile_page_addresses(
+            layout, row_start, row_count, col_start, col_count
+        )
+        stall_cycles = 0
+        if prediction_enabled:
+            self.matlb.prewalk_pages(mmu, asid, pages)
+        for page_vaddr in pages:
+            if self.matlb.lookup(page_vaddr) is None:
+                result = mmu.translate_data(asid, page_vaddr)
+                self.demand_translations += 1
+                stall_cycles += result.cycles
+        self.translation_stall_cycles += stall_cycles
+        return stall_cycles
+
+    @property
+    def total_bytes_transferred(self) -> int:
+        return sum(engine.bytes_transferred for engine in self.engines)

@@ -1,0 +1,293 @@
+"""Predictive address translation: the mATLB (paper Section IV.A).
+
+The MMAE's DMA engines operate on virtual addresses, and for large matrices a
+tile's rows land on many different pages (Fig. 4), so demand page-table walks
+would stall the DMA streams.  The mATLB exploits the fact that the access
+pattern is fully determined by the GEMM parameters (matrix column count, tile
+size, page size) that the CPU configures in advance:
+
+1. the :class:`PageTablePredictor` computes, for each upcoming tile, the
+   virtual address of the first element in every page the tile will touch;
+2. the mATLB sends those addresses to the CPU core's MMU for page-table walks
+   ahead of time and buffers the returned translations locally;
+3. the DMA engines consume translations from the buffer, so the walk latency
+   overlaps with computation instead of stalling the transfer.
+
+Two views are provided: a functional mATLB used by the small-scale tests, and
+a closed-form :func:`estimate_translation_stalls` used by the parameter
+sweeps of Fig. 6 (see DESIGN.md for the derivation and calibration).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set
+
+from repro.gemm.tiling import TileConfig, TwoLevelTiling
+from repro.gemm.workloads import GEMMShape
+from repro.mem.address import DEFAULT_PAGE_SIZE, align_down
+from repro.mem.page_table import PageFaultError
+
+
+# --------------------------------------------------------------------------- prediction
+@dataclass(frozen=True)
+class MatrixLayout:
+    """Row-major layout of one operand matrix in virtual memory."""
+
+    base_vaddr: int
+    rows: int
+    cols: int
+    row_stride_elements: int
+    element_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        if self.row_stride_elements < self.cols:
+            raise ValueError("row stride cannot be smaller than the column count")
+
+    def element_vaddr(self, row: int, col: int) -> int:
+        return self.base_vaddr + (row * self.row_stride_elements + col) * self.element_bytes
+
+
+class PageTablePredictor:
+    """Computes which pages a rectangular tile of a matrix will touch (Fig. 4)."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError("page size must be a positive power of two")
+        self.page_size = page_size
+
+    def tile_page_addresses(
+        self,
+        layout: MatrixLayout,
+        row_start: int,
+        row_count: int,
+        col_start: int,
+        col_count: int,
+    ) -> List[int]:
+        """Page-aligned virtual addresses touched by the tile, in access order.
+
+        This reproduces the observation of Fig. 4: the first element located in
+        each page determines the pages the DMA stream will need translated.
+        """
+        if row_start < 0 or col_start < 0:
+            raise ValueError("tile origin must be non-negative")
+        if row_start + row_count > layout.rows or col_start + col_count > layout.cols:
+            raise ValueError("tile exceeds the matrix bounds")
+        pages: List[int] = []
+        seen: Set[int] = set()
+        for row in range(row_start, row_start + row_count):
+            first = layout.element_vaddr(row, col_start)
+            last = layout.element_vaddr(row, col_start + col_count - 1) + layout.element_bytes - 1
+            page = align_down(first, self.page_size)
+            while page <= last:
+                if page not in seen:
+                    seen.add(page)
+                    pages.append(page)
+                page += self.page_size
+        return pages
+
+    def pages_per_tile(
+        self, layout: MatrixLayout, row_count: int, col_count: int
+    ) -> int:
+        """Upper bound on distinct pages a tile of the given size touches."""
+        segment_bytes = col_count * layout.element_bytes
+        row_stride_bytes = layout.row_stride_elements * layout.element_bytes
+        if row_stride_bytes <= self.page_size:
+            return math.ceil(row_count * row_stride_bytes / self.page_size) + 1
+        return row_count * (math.ceil(segment_bytes / self.page_size) + 1)
+
+
+# --------------------------------------------------------------------------- functional mATLB
+@dataclass
+class MATLBStats:
+    prewalks: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    page_faults: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MATLB:
+    """The MMAE-local buffer of pre-walked translations."""
+
+    def __init__(self, entries: int = 64, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if entries <= 0:
+            raise ValueError("mATLB needs at least one entry")
+        self.capacity = entries
+        self.page_size = page_size
+        self.predictor = PageTablePredictor(page_size)
+        self.stats = MATLBStats()
+        self._entries: "OrderedDict[int, int]" = OrderedDict()  # page vaddr -> page paddr
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def prewalk_pages(self, mmu, asid: int, page_vaddrs: Iterable[int]) -> int:
+        """Walk the given pages through the shared MMU and buffer the results.
+
+        Returns the total walk cycles spent (the caller decides whether they are
+        hidden).  Pages that fault are skipped and counted; the demand access
+        will later raise the PAGE_FAULT exception through the normal path.
+        """
+        total_cycles = 0
+        for vaddr in page_vaddrs:
+            page_vaddr = align_down(vaddr, self.page_size)
+            if page_vaddr in self._entries:
+                continue
+            try:
+                result = mmu.prewalk(asid, page_vaddr)
+            except PageFaultError:
+                self.stats.page_faults += 1
+                continue
+            self.stats.prewalks += 1
+            total_cycles += result.cycles
+            self._insert(page_vaddr, align_down(result.paddr, self.page_size))
+        return total_cycles
+
+    def prewalk_tile(
+        self,
+        mmu,
+        asid: int,
+        layout: MatrixLayout,
+        row_start: int,
+        row_count: int,
+        col_start: int,
+        col_count: int,
+    ) -> int:
+        """Predict and pre-walk every page of one tile; returns the walk cycles."""
+        pages = self.predictor.tile_page_addresses(layout, row_start, row_count, col_start, col_count)
+        return self.prewalk_pages(mmu, asid, pages)
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        """Return the translated physical address if the page is buffered."""
+        page_vaddr = align_down(vaddr, self.page_size)
+        paddr_page = self._entries.get(page_vaddr)
+        if paddr_page is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(page_vaddr)
+        self.stats.hits += 1
+        return paddr_page + (vaddr - page_vaddr)
+
+    def invalidate(self, vaddr: int) -> None:
+        """Drop the entry for a page (the paper removes entries that stop matching)."""
+        self._entries.pop(align_down(vaddr, self.page_size), None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def _insert(self, page_vaddr: int, page_paddr: int) -> None:
+        if page_vaddr in self._entries:
+            self._entries.move_to_end(page_vaddr)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[page_vaddr] = page_paddr
+
+
+# ------------------------------------------------------------------- closed-form stall model
+@dataclass(frozen=True)
+class TranslationTimingParameters:
+    """Calibration constants of the closed-form translation-stall model.
+
+    ``first_touch_walk_cycles`` is the amortised cost of walking a page that
+    has never been touched in this tile pass (consecutive pages share
+    page-table-entry cache lines, so the leaf fetch is amortised over ~8
+    pages); ``retouch_walk_cycles`` is the cost of re-walking a page whose
+    translation fell out of the shared L2 TLB; ``predicted_exposed_fraction``
+    is the small residual of walks the mATLB fails to hide (mispredicted or
+    issued too late).  Cycles are in the MMAE clock domain.
+    """
+
+    first_touch_walk_cycles: float = 28.0
+    retouch_walk_cycles: float = 85.0
+    predicted_exposed_fraction: float = 0.03
+    shared_tlb_entries: int = 1024
+
+
+@dataclass
+class TranslationStallEstimate:
+    """Outcome of the closed-form model for one GEMM."""
+
+    unique_pages: int
+    first_touch_walks: int
+    retouch_walks: int
+    stall_cycles: float
+    prediction_enabled: bool
+
+    @property
+    def total_walks(self) -> int:
+        return self.first_touch_walks + self.retouch_walks
+
+
+def _unique_pages(rows: int, segment_bytes: int, row_stride_bytes: int, page_size: int) -> int:
+    """Distinct pages touched by ``rows`` row segments of a row-major panel."""
+    if rows <= 0:
+        return 0
+    if row_stride_bytes <= page_size:
+        return max(1, math.ceil(rows * row_stride_bytes / page_size))
+    return rows * max(1, math.ceil(segment_bytes / page_size))
+
+
+def estimate_translation_stalls(
+    shape: GEMMShape,
+    level1: TileConfig,
+    level2: TileConfig,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    prediction_enabled: bool = True,
+    params: TranslationTimingParameters = TranslationTimingParameters(),
+) -> TranslationStallEstimate:
+    """Estimate the DMA stall cycles caused by address translation for one GEMM.
+
+    The derivation (DESIGN.md Section 5) follows the paper's Fig. 4 reasoning:
+    when a matrix row spans more than one page, every tile row starts on a new
+    page, so a first-level tile's A/B/C panels touch far more pages than the
+    shared L2 TLB holds; every re-streaming of a panel (once per second-level
+    column/row block) then re-walks the evicted entries.  With prediction the
+    mATLB issues those walks ahead of the DMA streams and only a small residual
+    remains exposed.
+    """
+    element = shape.precision.bytes_per_element
+    tiling = TwoLevelTiling(shape, level1, level2)
+    total_first = 0
+    total_retouch = 0
+    total_unique = 0
+    for tile in tiling.level1_tiles():
+        pages_a = _unique_pages(tile.rows, tile.depth * element, shape.k * element, page_size)
+        pages_b = _unique_pages(tile.depth, tile.cols * element, shape.n * element, page_size)
+        pages_c = _unique_pages(tile.rows, tile.cols * element, shape.n * element, page_size)
+        unique = pages_a + pages_b + pages_c
+        total_unique += unique
+        thrash_fraction = max(0.0, (unique - params.shared_tlb_entries) / unique) if unique else 0.0
+        touches_a = math.ceil(tile.cols / level2.cols)
+        touches_b = math.ceil(tile.rows / level2.rows)
+        retouch = (
+            (touches_a - 1) * pages_a * thrash_fraction
+            + (touches_b - 1) * pages_b * thrash_fraction
+        )
+        total_first += unique
+        total_retouch += int(round(retouch))
+
+    stall_cycles = (
+        total_first * params.first_touch_walk_cycles
+        + total_retouch * params.retouch_walk_cycles
+    )
+    if prediction_enabled:
+        stall_cycles *= params.predicted_exposed_fraction
+    return TranslationStallEstimate(
+        unique_pages=total_unique,
+        first_touch_walks=total_first,
+        retouch_walks=total_retouch,
+        stall_cycles=stall_cycles,
+        prediction_enabled=prediction_enabled,
+    )

@@ -1,0 +1,75 @@
+"""The processing element (PE) of the systolic array.
+
+Each PE holds a stationary operand (an element of the B sub-matrix in the
+input-stationary dataflow of Fig. 1), receives an A element and a partial sum
+from its neighbours each cycle, performs a multiply-accumulate, and forwards
+the updated partial sum down its column.  The SIMD modes of Fig. 2(c)/(d) pack
+two FP32 or four FP16 lanes into one PE: the PE then holds a short vector of
+stationary operands and processes the matching vector of A elements per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.gemm.precision import Precision
+
+
+@dataclass
+class ProcessingElement:
+    """One MAC unit of the systolic array."""
+
+    row: int
+    col: int
+    precision: Precision = Precision.FP64
+    weights: List[float] = field(default_factory=list)
+    macs_performed: int = 0
+
+    @property
+    def lanes(self) -> int:
+        """Number of SIMD lanes in the current precision mode."""
+        return self.precision.simd_ways
+
+    def set_precision(self, precision: Precision) -> None:
+        """Switch compute mode; clears the stationary operands."""
+        self.precision = precision
+        self.weights = []
+
+    def load_weights(self, values: Sequence[float]) -> None:
+        """Load the stationary operand vector (length must equal the lane count)."""
+        if len(values) != self.lanes:
+            raise ValueError(
+                f"PE({self.row},{self.col}): expected {self.lanes} stationary values, got {len(values)}"
+            )
+        dtype = self.precision.dtype
+        self.weights = [float(np.asarray(v, dtype=dtype)) for v in values]
+
+    def mac(self, activations: Sequence[float], partial_sums: Sequence[float]) -> List[float]:
+        """One cycle of work: ``partial + activation * weight`` per lane.
+
+        Arithmetic is performed in the accumulator precision (FP32 for FP16
+        inputs, native otherwise) to mirror the hardware datapath.
+        """
+        if not self.weights:
+            raise RuntimeError(f"PE({self.row},{self.col}): stationary operands not loaded")
+        if len(activations) != self.lanes or len(partial_sums) != self.lanes:
+            raise ValueError(
+                f"PE({self.row},{self.col}): expected {self.lanes} lanes of inputs"
+            )
+        in_dtype = self.precision.dtype
+        acc_dtype = self.precision.accumulate_dtype
+        results = []
+        for activation, weight, partial in zip(activations, self.weights, partial_sums):
+            a = np.asarray(activation, dtype=in_dtype).astype(acc_dtype)
+            w = np.asarray(weight, dtype=in_dtype).astype(acc_dtype)
+            p = np.asarray(partial, dtype=acc_dtype)
+            results.append(float(a * w + p))
+            self.macs_performed += 1
+        return results
+
+    def reset(self) -> None:
+        self.weights = []
+        self.macs_performed = 0

@@ -1,0 +1,201 @@
+"""The 4x4 systolic array of the MMAE: functional and cycle models.
+
+Two levels of fidelity are provided:
+
+* :class:`SystolicArray` — the model used by the MMAE controller: it computes
+  tile GEMMs numerically with NumPy in the selected precision (so functional
+  results are exact for the datapath width) and returns a cycle count from the
+  input-stationary schedule;
+* :class:`SystolicArrayEmulator` — a cycle-stepped, PE-by-PE emulation of the
+  wavefront for small tiles, used by tests to validate that the dataflow the
+  cycle formula assumes actually produces the right answer and finishes in the
+  predicted number of cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gemm.precision import Precision
+from repro.mmae.pe import ProcessingElement
+
+
+@dataclass
+class TileComputeResult:
+    """Result of running one tile GEMM on the array."""
+
+    output: np.ndarray
+    cycles: int
+    macs: int
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+
+class SystolicArray:
+    """An ``rows x cols`` input-stationary systolic array (paper Fig. 1 / Fig. 2(b)).
+
+    The stationary operand is the B sub-matrix.  In FP32 mode each PE packs two
+    lanes and in FP16 mode four lanes (Fig. 2(c)/(d)), which multiplies the
+    effective number of B columns the array holds per pass.
+    """
+
+    def __init__(self, rows: int = 4, cols: int = 4, frequency_hz: float = 2.5e9) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.frequency_hz = frequency_hz
+        self.total_macs = 0
+        self.total_cycles = 0
+
+    # ------------------------------------------------------------------- rates
+    def macs_per_cycle(self, precision: Precision = Precision.FP64) -> int:
+        """MAC operations the array completes per cycle in the given mode."""
+        return self.rows * self.cols * precision.simd_ways
+
+    def peak_gflops(self, precision: Precision = Precision.FP64) -> float:
+        """Theoretical peak (2 ops per MAC) in GFLOPS."""
+        return 2.0 * self.macs_per_cycle(precision) * self.frequency_hz / 1e9
+
+    # ------------------------------------------------------------------ timing
+    def tile_cycles(self, tr: int, tc: int, tk: int, precision: Precision = Precision.FP64) -> int:
+        """Cycles to compute a (tr x tk) @ (tk x tc) tile GEMM.
+
+        The B tile is loaded block-by-block (``rows x cols*lanes`` stationary
+        blocks); for each stationary block the A rows stream through for ``tr``
+        cycles.  Weight loading of the next block is double-buffered behind the
+        current block's streaming, so only the first fill and the final drain
+        of the ``rows + cols`` deep wavefront are exposed.
+        """
+        if tr <= 0 or tc <= 0 or tk <= 0:
+            raise ValueError("tile dimensions must be positive")
+        lanes = precision.simd_ways
+        stationary_blocks = math.ceil(tk / self.rows) * math.ceil(tc / (self.cols * lanes))
+        streaming_cycles = stationary_blocks * tr
+        fill_drain = self.rows + self.cols
+        return streaming_cycles + fill_drain
+
+    def ideal_tile_cycles(self, tr: int, tc: int, tk: int, precision: Precision = Precision.FP64) -> float:
+        """Lower bound: MACs divided by the array's MAC rate."""
+        return tr * tc * tk / self.macs_per_cycle(precision)
+
+    def tile_utilization(self, tr: int, tc: int, tk: int, precision: Precision = Precision.FP64) -> float:
+        """Fraction of peak the array sustains on one tile (<= 1)."""
+        return self.ideal_tile_cycles(tr, tc, tk, precision) / self.tile_cycles(tr, tc, tk, precision)
+
+    # --------------------------------------------------------------- functional
+    def compute_tile(
+        self,
+        a_tile: np.ndarray,
+        b_tile: np.ndarray,
+        c_tile: Optional[np.ndarray] = None,
+        precision: Precision = Precision.FP64,
+    ) -> TileComputeResult:
+        """Compute ``C += A @ B`` for one tile in the datapath precision.
+
+        Inputs are cast to the mode's storage precision and accumulated in the
+        accumulator precision, which reproduces the numerical behaviour of the
+        FP16x4 mode (FP16 operands, FP32 accumulation).
+        """
+        if a_tile.ndim != 2 or b_tile.ndim != 2:
+            raise ValueError("tiles must be 2-D")
+        if a_tile.shape[1] != b_tile.shape[0]:
+            raise ValueError(f"tile shapes do not agree: {a_tile.shape} @ {b_tile.shape}")
+        in_dtype = precision.dtype
+        acc_dtype = precision.accumulate_dtype
+        a_cast = a_tile.astype(in_dtype).astype(acc_dtype)
+        b_cast = b_tile.astype(in_dtype).astype(acc_dtype)
+        result = a_cast @ b_cast
+        if c_tile is not None:
+            if c_tile.shape != result.shape:
+                raise ValueError(f"C tile shape {c_tile.shape} does not match {result.shape}")
+            result = result + c_tile.astype(acc_dtype)
+        tr, tk = a_tile.shape
+        tc = b_tile.shape[1]
+        cycles = self.tile_cycles(tr, tc, tk, precision)
+        macs = tr * tc * tk
+        self.total_macs += macs
+        self.total_cycles += cycles
+        return TileComputeResult(output=result.astype(acc_dtype), cycles=cycles, macs=macs)
+
+
+class SystolicArrayEmulator:
+    """Cycle-stepped emulation of the input-stationary wavefront.
+
+    The emulator instantiates real :class:`ProcessingElement` objects and
+    advances the array cycle by cycle: A elements enter from the west edge
+    skewed by row, partial sums propagate south, and results exit the south
+    edge skewed by column.  It is quadratic in tile size and therefore only
+    used on small tiles in the test-suite, where it validates both the
+    numerical result and the ``rows + cols + tr - 2``-cycle latency the
+    analytical model assumes for a single stationary block.
+    """
+
+    def __init__(self, rows: int = 4, cols: int = 4, precision: Precision = Precision.FP64) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.precision = precision
+        self.pes = [
+            [ProcessingElement(row=r, col=c, precision=precision) for c in range(cols)]
+            for r in range(rows)
+        ]
+
+    def run_block(self, a_block: np.ndarray, b_block: np.ndarray) -> TileComputeResult:
+        """Run one stationary block: ``a_block (tr x rows) @ b_block (rows x cols)``.
+
+        The B block must match the array dimensions exactly (one stationary
+        element per PE, single-lane mode).
+        """
+        if self.precision.simd_ways != 1:
+            raise NotImplementedError("the emulator models the single-lane (FP64) dataflow")
+        tr, depth = a_block.shape
+        if depth != self.rows or b_block.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"expected A (tr x {self.rows}) and B ({self.rows} x {self.cols}), "
+                f"got {a_block.shape} and {b_block.shape}"
+            )
+        # Load stationary operands.
+        for r in range(self.rows):
+            for c in range(self.cols):
+                self.pes[r][c].load_weights([float(b_block[r, c])])
+
+        acc_dtype = self.precision.accumulate_dtype
+        output = np.zeros((tr, self.cols), dtype=acc_dtype)
+        total_cycles = self.rows + self.cols + tr - 2
+        # a_wavefront[r] holds the skewed stream of A values entering row r.
+        # partial[r][c] holds the value travelling from PE (r-1, c) to PE (r, c).
+        partial = np.zeros((self.rows + 1, self.cols), dtype=acc_dtype)
+        a_in_flight = np.zeros((self.rows, self.cols + 1), dtype=acc_dtype)
+        macs = 0
+        for cycle in range(total_cycles):
+            new_partial = np.zeros_like(partial)
+            new_a = np.zeros_like(a_in_flight)
+            for r in range(self.rows):
+                # A value entering row r this cycle (skewed injection).
+                inject_index = cycle - r
+                if 0 <= inject_index < tr:
+                    new_a[r, 0] = a_block[inject_index, r]
+                for c in range(self.cols):
+                    # The value arriving at PE (r, c) travelled from the west;
+                    # column 0 consumes this cycle's injection directly.
+                    a_value = new_a[r, 0] if c == 0 else a_in_flight[r, c]
+                    p_value = partial[r, c]
+                    result = self.pes[r][c].mac([float(a_value)], [float(p_value)])[0]
+                    macs += 1
+                    new_partial[r + 1, c] = result
+                    new_a[r, c + 1] = a_value
+            partial = new_partial
+            a_in_flight = new_a
+            # Collect results leaving the south edge: row index of the output is
+            # determined by the injection skew.
+            for c in range(self.cols):
+                out_index = cycle - (self.rows - 1) - c
+                if 0 <= out_index < tr:
+                    output[out_index, c] = partial[self.rows, c]
+        return TileComputeResult(output=output, cycles=total_cycles, macs=tr * self.rows * self.cols)

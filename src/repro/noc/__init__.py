@@ -1,0 +1,35 @@
+"""Network-on-chip substrate: 4x4 2D mesh, X-Y routing, virtual channels, bandwidth model.
+
+The paper's NoC is a classical 4x4 2D mesh running at 2 GHz with 256-bit links
+(128 GB/s bidirectional per compute node), X-Y dimension-order routing and
+virtual-channel flow control (Section III.A).  Two views are provided:
+
+* a transaction-level model (:class:`MeshNetwork`) that routes individual
+  packets hop by hop, used by the functional tests; and
+* a contention model (:class:`NocContentionModel`) that estimates the
+  sustained per-node bandwidth when ``n`` nodes stream to the distributed L3
+  simultaneously — the quantity that drives the Fig. 7 scalability results.
+"""
+
+from repro.noc.mesh import MeshTopology, NodeCoordinate
+from repro.noc.routing import xy_route, route_hops
+from repro.noc.flit import Flit, Packet, FlitType
+from repro.noc.router import Router, VirtualChannel
+from repro.noc.network import MeshNetwork, NocConfig, TransferResult
+from repro.noc.contention import NocContentionModel
+
+__all__ = [
+    "MeshTopology",
+    "NodeCoordinate",
+    "xy_route",
+    "route_hops",
+    "Flit",
+    "Packet",
+    "FlitType",
+    "Router",
+    "VirtualChannel",
+    "MeshNetwork",
+    "NocConfig",
+    "TransferResult",
+    "NocContentionModel",
+]

@@ -1,0 +1,72 @@
+"""Packets and flits: the units of NoC transfer."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+
+class FlitType(enum.Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"  # single-flit packet
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet_id: int
+    sequence: int
+    flit_type: FlitType
+    src: int
+    dst: int
+
+
+@dataclass
+class Packet:
+    """A message travelling from ``src`` to ``dst`` carrying ``payload_bytes``.
+
+    The link width determines how many flits the packet needs; a head flit also
+    carries routing information, so a packet always has at least one flit.
+    """
+
+    packet_id: int
+    src: int
+    dst: int
+    payload_bytes: int
+    link_width_bytes: int = 32  # 256-bit links
+    virtual_channel: int = 0
+    injection_time: float = 0.0
+    delivery_time: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload cannot be negative")
+        if self.link_width_bytes <= 0:
+            raise ValueError("link width must be positive")
+        if self.virtual_channel < 0:
+            raise ValueError("virtual channel must be non-negative")
+
+    @property
+    def num_flits(self) -> int:
+        return max(1, math.ceil(self.payload_bytes / self.link_width_bytes))
+
+    def flits(self) -> List[Flit]:
+        """Materialise the packet's flit sequence."""
+        count = self.num_flits
+        if count == 1:
+            return [Flit(self.packet_id, 0, FlitType.HEAD_TAIL, self.src, self.dst)]
+        result = [Flit(self.packet_id, 0, FlitType.HEAD, self.src, self.dst)]
+        for sequence in range(1, count - 1):
+            result.append(Flit(self.packet_id, sequence, FlitType.BODY, self.src, self.dst))
+        result.append(Flit(self.packet_id, count - 1, FlitType.TAIL, self.src, self.dst))
+        return result
+
+    @property
+    def latency(self) -> float:
+        """Injection-to-delivery latency (valid after the network delivers the packet)."""
+        return self.delivery_time - self.injection_time

@@ -1,0 +1,89 @@
+"""Per-node router model with virtual channels.
+
+The router model tracks per-output-port occupancy in flit-cycles, which is all
+the transaction-level network needs to estimate queueing delay; it does not
+simulate individual flit pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.noc.flit import Packet
+
+
+@dataclass
+class VirtualChannel:
+    """Occupancy bookkeeping for one virtual channel of one output port."""
+
+    index: int
+    depth_flits: int = 8
+    occupied_until: float = 0.0
+    flits_forwarded: int = 0
+
+    def earliest_free(self, now: float) -> float:
+        return max(now, self.occupied_until)
+
+    def reserve(self, start: float, duration: float) -> float:
+        """Occupy the channel for ``duration`` starting no earlier than ``start``."""
+        begin = max(start, self.occupied_until)
+        self.occupied_until = begin + duration
+        return begin
+
+
+class Router:
+    """A mesh router: one set of virtual channels per output direction.
+
+    Output ports are identified by the neighbouring node id (or ``-1`` for the
+    local ejection port).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        num_virtual_channels: int = 4,
+        pipeline_latency_cycles: int = 3,
+    ) -> None:
+        if num_virtual_channels <= 0:
+            raise ValueError("need at least one virtual channel")
+        self.node_id = node_id
+        self.num_virtual_channels = num_virtual_channels
+        self.pipeline_latency_cycles = pipeline_latency_cycles
+        self._ports: Dict[int, List[VirtualChannel]] = {}
+        self.packets_routed = 0
+
+    def port(self, next_hop: int) -> List[VirtualChannel]:
+        if next_hop not in self._ports:
+            self._ports[next_hop] = [
+                VirtualChannel(index) for index in range(self.num_virtual_channels)
+            ]
+        return self._ports[next_hop]
+
+    def select_channel(self, next_hop: int, now: float, preferred: Optional[int] = None) -> VirtualChannel:
+        """Pick the virtual channel that frees up earliest (or the preferred one)."""
+        channels = self.port(next_hop)
+        if preferred is not None:
+            return channels[preferred % len(channels)]
+        return min(channels, key=lambda channel: channel.earliest_free(now))
+
+    def forward(self, packet: Packet, next_hop: int, now: float, cycle_time: float) -> float:
+        """Forward a packet towards ``next_hop``; returns the time the tail flit leaves.
+
+        The packet occupies the selected virtual channel for ``num_flits`` link
+        cycles after a fixed router pipeline delay.
+        """
+        channel = self.select_channel(next_hop, now, preferred=packet.virtual_channel or None)
+        serialization = packet.num_flits * cycle_time
+        start = channel.reserve(now + self.pipeline_latency_cycles * cycle_time, serialization)
+        channel.flits_forwarded += packet.num_flits
+        self.packets_routed += 1
+        return start + serialization
+
+    def utilization(self, now: float) -> float:
+        """Fraction of output channels still busy at time ``now``."""
+        channels = [channel for port in self._ports.values() for channel in port]
+        if not channels:
+            return 0.0
+        busy = sum(1 for channel in channels if channel.occupied_until > now)
+        return busy / len(channels)

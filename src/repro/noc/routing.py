@@ -1,0 +1,43 @@
+"""X-Y dimension-order routing on the 2D mesh.
+
+The paper's NoC uses the X-Y routing algorithm (Section III.A): a packet first
+travels along the X dimension until the destination column is reached, then
+along Y.  X-Y routing is deterministic and deadlock-free on a mesh, which is
+why the model does not need an escape-channel mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.noc.mesh import MeshTopology, NodeCoordinate
+
+
+def xy_route(topology: MeshTopology, src: int, dst: int) -> List[int]:
+    """Return the node sequence (inclusive of ``src`` and ``dst``) of the X-Y route."""
+    src_coord = topology.coordinate(src)
+    dst_coord = topology.coordinate(dst)
+    path = [src]
+    current = src_coord
+    # Travel along X first.
+    step_x = 1 if dst_coord.x > current.x else -1
+    while current.x != dst_coord.x:
+        current = NodeCoordinate(current.x + step_x, current.y)
+        path.append(topology.node_id(current))
+    # Then along Y.
+    step_y = 1 if dst_coord.y > current.y else -1
+    while current.y != dst_coord.y:
+        current = NodeCoordinate(current.x, current.y + step_y)
+        path.append(topology.node_id(current))
+    return path
+
+
+def route_links(topology: MeshTopology, src: int, dst: int) -> List[Tuple[int, int]]:
+    """Return the directed links traversed by the X-Y route from ``src`` to ``dst``."""
+    path = xy_route(topology, src, dst)
+    return list(zip(path[:-1], path[1:]))
+
+
+def route_hops(topology: MeshTopology, src: int, dst: int) -> int:
+    """Number of link traversals on the X-Y route (equals the Manhattan distance)."""
+    return len(xy_route(topology, src, dst)) - 1

@@ -1,0 +1,24 @@
+"""Light-weight discrete-event simulation kernel used by the MACO substrates.
+
+The MACO reproduction mostly relies on tile-granular analytical timing, but a
+few components (DMA engines, the NoC transaction layer, the MTQ/STQ handshake)
+are easier to express as events on a shared clock.  This package provides the
+minimal kernel for that: a :class:`Clock`, an :class:`EventQueue`-backed
+:class:`SimulationEngine`, and a :class:`StatsRegistry` of named counters.
+"""
+
+from repro.sim.clock import Clock, CycleDomain
+from repro.sim.event import Event, EventQueue
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "Clock",
+    "CycleDomain",
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+]

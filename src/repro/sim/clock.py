@@ -1,0 +1,92 @@
+"""Clock and clock-domain helpers.
+
+MACO has three clock domains (paper, Section V.A): the CPU cores run at
+2.2 GHz, the MMAEs at 2.5 GHz and the NoC at 2.0 GHz.  Timing results produced
+by one domain frequently have to be compared with, or added to, results from
+another domain, so every domain can convert cycles to seconds and seconds back
+to cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Clock:
+    """A cycle counter tied to a fixed frequency.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency in Hertz.  Must be positive.
+    name:
+        Optional human readable name used in error messages and reports.
+    """
+
+    frequency_hz: float
+    name: str = "clock"
+    cycle: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"{self.name}: frequency must be positive, got {self.frequency_hz}")
+
+    @property
+    def period_s(self) -> float:
+        """Duration of one cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def advance(self, cycles: int = 1) -> int:
+        """Advance the clock by ``cycles`` and return the new cycle count."""
+        if cycles < 0:
+            raise ValueError(f"{self.name}: cannot advance by a negative cycle count ({cycles})")
+        self.cycle += int(cycles)
+        return self.cycle
+
+    def reset(self) -> None:
+        """Reset the cycle counter to zero."""
+        self.cycle = 0
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count in this domain to wall-clock seconds."""
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert seconds into a (rounded-up) number of cycles in this domain."""
+        if seconds < 0:
+            raise ValueError(f"{self.name}: negative duration {seconds}")
+        return int(math.ceil(seconds * self.frequency_hz))
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock time elapsed since the last reset."""
+        return self.cycles_to_seconds(self.cycle)
+
+
+@dataclass(frozen=True)
+class CycleDomain:
+    """Immutable description of a clock domain (name + frequency).
+
+    Used by configuration objects; a live :class:`Clock` can be created from it
+    with :meth:`make_clock`.
+    """
+
+    name: str
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"{self.name}: frequency must be positive")
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.frequency_hz / 1e9
+
+    def make_clock(self) -> Clock:
+        return Clock(frequency_hz=self.frequency_hz, name=self.name)
+
+    def convert_cycles(self, cycles: float, target: "CycleDomain") -> float:
+        """Express ``cycles`` of this domain as (fractional) cycles of ``target``."""
+        return cycles * target.frequency_hz / self.frequency_hz

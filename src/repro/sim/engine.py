@@ -1,0 +1,96 @@
+"""A minimal discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.stats import StatsRegistry
+
+
+class SimulationEngine:
+    """Drives an :class:`EventQueue` forward in time.
+
+    The engine is deliberately small: components schedule callbacks with
+    :meth:`schedule` (absolute time) or :meth:`schedule_after` (relative
+    delay), and :meth:`run` executes them in timestamp order.  Time units are
+    whatever the caller chooses (the MACO models use nanoseconds so that
+    multiple clock domains can share one engine).
+    """
+
+    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule a callback at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule event in the past ({time} < {self.now})")
+        return self.queue.push(time, callback, *args, priority=priority, label=label, **kwargs)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule a callback ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback, *args, priority=priority, label=label, **kwargs)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulation time after the run.
+        """
+        self._running = True
+        fired = 0
+        try:
+            while self._running:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.fire()
+                self._events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after the current event."""
+        self._running = False
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind time to zero."""
+        self.queue.clear()
+        self.now = 0.0
+        self._events_fired = 0

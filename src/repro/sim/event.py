@@ -1,0 +1,92 @@
+"""Event and event-queue primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)`` so that simultaneous
+    events fire in a deterministic order: lower priority value first, then
+    insertion order.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
+    kwargs: dict = field(default_factory=dict, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback (does not check ``cancelled``)."""
+        return self.callback(*self.args, **self.kwargs)
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next non-cancelled event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,102 @@
+"""Named statistics counters shared by the architectural models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named counter."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add negative amount {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Histogram:
+    """A tiny histogram that tracks count/sum/min/max of observed samples."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        self.minimum = min(self.minimum, sample)
+        self.maximum = max(self.maximum, sample)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class StatsRegistry:
+    """A flat namespace of counters and histograms.
+
+    Components create their counters lazily via :meth:`counter` /
+    :meth:`histogram`; reports read them back with :meth:`snapshot`.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        key = self._qualify(name)
+        if key not in self._counters:
+            self._counters[key] = Counter(key)
+        return self._counters[key]
+
+    def histogram(self, name: str) -> Histogram:
+        key = self._qualify(name)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(key)
+        return self._histograms[key]
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a flat ``{name: value}`` view of every counter and histogram mean."""
+        values: Dict[str, float] = {c.name: c.value for c in self._counters.values()}
+        for hist in self._histograms.values():
+            values[f"{hist.name}.count"] = float(hist.count)
+            values[f"{hist.name}.mean"] = hist.mean
+        return values
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for hist in self._histograms.values():
+            hist.reset()
+
+    def report_lines(self) -> List[str]:
+        """Human-readable one-line-per-stat report (sorted by name)."""
+        lines = [f"{name} = {value:g}" for name, value in sorted(self.snapshot().items())]
+        return lines

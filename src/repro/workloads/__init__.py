@@ -1,0 +1,38 @@
+"""Deep-learning workload models: the GEMM streams of ResNet-50, BERT and GPT-3.
+
+The Fig. 8 comparison runs these three networks in FP32 inference.  The
+evaluation only needs the sequence of GEMMs each network performs (plus the
+element-wise tail operators for the GEMM+ mapping study), so each model is a
+layer-shape description that expands into a :class:`~repro.gemm.workloads.GEMMWorkload`.
+"""
+
+from repro.workloads.layers import (
+    LayerKind,
+    LayerSpec,
+    conv2d_gemm,
+    linear_gemm,
+    attention_gemms,
+    elementwise_cost,
+)
+from repro.workloads.resnet50 import resnet50_workload, RESNET50_LAYERS
+from repro.workloads.bert import bert_workload, BERT_BASE, BERT_LARGE
+from repro.workloads.gpt3 import gpt3_workload, GPT3_CONFIGS
+from repro.workloads.registry import dl_benchmark_suite, workload_by_name
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "conv2d_gemm",
+    "linear_gemm",
+    "attention_gemms",
+    "elementwise_cost",
+    "resnet50_workload",
+    "RESNET50_LAYERS",
+    "bert_workload",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "gpt3_workload",
+    "GPT3_CONFIGS",
+    "dl_benchmark_suite",
+    "workload_by_name",
+]

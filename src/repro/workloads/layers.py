@@ -1,0 +1,130 @@
+"""Layer-to-GEMM lowering rules.
+
+Convolutions are lowered with im2col (the standard mapping for matrix
+engines), fully-connected layers map directly, and attention layers expand
+into the projection, logit and context GEMMs.  Element-wise tail operators
+(activation, normalisation, softmax) are summarised by their FLOP and byte
+counts so the GEMM+ mapping model can charge them to the CPU cores.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gemm.precision import Precision
+from repro.gemm.workloads import GEMMShape
+
+
+class LayerKind(enum.Enum):
+    CONV2D = "conv2d"
+    LINEAR = "linear"
+    ATTENTION = "attention"
+    ELEMENTWISE = "elementwise"
+    POOL = "pool"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """A network layer in the minimal form needed to derive its GEMMs.
+
+    The meaning of the dimension fields depends on ``kind``:
+
+    * ``CONV2D``: ``in_channels, out_channels, kernel, stride, input_size`` —
+      spatial input is ``input_size x input_size``;
+    * ``LINEAR``: ``in_features (in_channels), out_features (out_channels)``;
+    * ``ATTENTION``: ``hidden (in_channels), heads (out_channels), seq_len (input_size)``.
+    """
+
+    name: str
+    kind: LayerKind
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel: int = 1
+    stride: int = 1
+    input_size: int = 0
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeat <= 0:
+            raise ValueError(f"{self.name}: repeat must be positive")
+
+
+def conv2d_gemm(
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    input_size: int,
+    precision: Precision = Precision.FP32,
+) -> GEMMShape:
+    """The im2col GEMM of a convolution layer.
+
+    Output spatial size is ``ceil(input / stride)`` (SAME padding, which is what
+    ResNet uses for its 3x3 convolutions; 1x1 convolutions are unaffected).
+    The GEMM computes ``[batch * out_h * out_w] x [k*k*in_c] @ [k*k*in_c] x [out_c]``.
+    """
+    if stride <= 0 or kernel <= 0:
+        raise ValueError("kernel and stride must be positive")
+    out_size = math.ceil(input_size / stride)
+    m = batch * out_size * out_size
+    k = kernel * kernel * in_channels
+    n = out_channels
+    return GEMMShape(m, n, k, precision)
+
+
+def linear_gemm(
+    batch_tokens: int, in_features: int, out_features: int, precision: Precision = Precision.FP32
+) -> GEMMShape:
+    """The GEMM of a fully-connected layer over ``batch_tokens`` rows."""
+    return GEMMShape(batch_tokens, out_features, in_features, precision)
+
+
+def attention_gemms(
+    batch: int,
+    seq_len: int,
+    hidden: int,
+    heads: int,
+    precision: Precision = Precision.FP32,
+) -> List[GEMMShape]:
+    """The GEMMs of one multi-head self-attention block.
+
+    Returns the Q/K/V projections, the attention logits (QK^T), the context
+    (probs @ V) and the output projection.  Per-head GEMMs are batched into a
+    single shape with the head dimension folded into K or M, matching how a
+    matrix engine would execute the batched einsum.
+    """
+    if hidden % heads:
+        raise ValueError("hidden size must be divisible by the head count")
+    head_dim = hidden // heads
+    tokens = batch * seq_len
+    shapes = [
+        linear_gemm(tokens, hidden, hidden, precision),  # Q projection
+        linear_gemm(tokens, hidden, hidden, precision),  # K projection
+        linear_gemm(tokens, hidden, hidden, precision),  # V projection
+    ]
+    # Attention logits: for each of batch*heads, (seq x head_dim) @ (head_dim x seq).
+    shapes.append(GEMMShape(batch * heads * seq_len, seq_len, head_dim, precision))
+    # Context: (seq x seq) @ (seq x head_dim).
+    shapes.append(GEMMShape(batch * heads * seq_len, head_dim, seq_len, precision))
+    # Output projection.
+    shapes.append(linear_gemm(tokens, hidden, hidden, precision))
+    return shapes
+
+
+def elementwise_cost(
+    elements: int, flops_per_element: float = 4.0, precision: Precision = Precision.FP32
+) -> Tuple[int, int]:
+    """FLOPs and bytes of an element-wise tail operator over ``elements`` values.
+
+    ``flops_per_element`` defaults to 4 (roughly a fused normalisation +
+    activation); bytes assume one read and one write of each element.
+    """
+    if elements < 0:
+        raise ValueError("element count cannot be negative")
+    flops = int(elements * flops_per_element)
+    bytes_touched = 2 * elements * precision.bytes_per_element
+    return flops, bytes_touched

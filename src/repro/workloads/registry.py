@@ -1,0 +1,31 @@
+"""Registry of the deep-learning benchmark suite used by Fig. 8."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.gemm.precision import Precision
+from repro.gemm.workloads import GEMMWorkload
+from repro.workloads.bert import BERT_LARGE, bert_workload
+from repro.workloads.gpt3 import gpt3_workload
+from repro.workloads.resnet50 import resnet50_workload
+
+_BUILDERS: Dict[str, Callable[..., GEMMWorkload]] = {
+    "resnet50": lambda precision: resnet50_workload(batch=8, precision=precision),
+    "bert": lambda precision: bert_workload(config=BERT_LARGE, batch=8, seq_len=384, precision=precision),
+    "gpt3": lambda precision: gpt3_workload(variant="gpt3-2.7b", batch=4, seq_len=1024,
+                                            num_layers=8, precision=precision),
+}
+
+
+def workload_by_name(name: str, precision: Precision = Precision.FP32) -> GEMMWorkload:
+    """Build one of the Fig. 8 benchmark workloads by name."""
+    key = name.strip().lower()
+    if key not in _BUILDERS:
+        raise ValueError(f"unknown workload {name!r}; options: {sorted(_BUILDERS)}")
+    return _BUILDERS[key](precision)
+
+
+def dl_benchmark_suite(precision: Precision = Precision.FP32) -> List[GEMMWorkload]:
+    """The three Fig. 8 benchmarks (ResNet-50, BERT, GPT-3) in paper order."""
+    return [workload_by_name(name, precision) for name in ("resnet50", "bert", "gpt3")]

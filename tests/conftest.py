@@ -1,0 +1,32 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MACOSystem, maco_default_config
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for numerical tests."""
+    return np.random.default_rng(seed=1234)
+
+
+@pytest.fixture
+def small_config():
+    """A 4-node MACO configuration (fast to build, exercises the multi-node paths)."""
+    return maco_default_config(num_nodes=4)
+
+
+@pytest.fixture
+def small_system(small_config) -> MACOSystem:
+    """A 4-node MACO system with shared host memory and L3."""
+    return MACOSystem(small_config)
+
+
+@pytest.fixture
+def single_node_system() -> MACOSystem:
+    """A single-node MACO system for functional MPAIS tests."""
+    return MACOSystem(maco_default_config(num_nodes=1))

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gemm_defaults(self):
+        args = build_parser().parse_args(["gemm"])
+        assert args.size == 4096
+        assert args.nodes == 16
+        assert args.precision == "fp64"
+        assert not args.no_prediction
+
+    def test_fig8_node_override(self):
+        args = build_parser().parse_args(["fig8", "--nodes", "16"])
+        assert args.nodes == 16
+
+
+class TestCommands:
+    def test_gemm_command_reports_throughput(self, capsys):
+        assert main(["gemm", "--size", "1024", "--nodes", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "GFLOPS" in output
+        assert "2 nodes" in output
+
+    def test_gemm_without_prediction(self, capsys):
+        assert main(["gemm", "--size", "1024", "--nodes", "1", "--no-prediction"]) == 0
+        assert "GFLOPS" in capsys.readouterr().out
+
+    def test_fig6_command(self, capsys):
+        assert main(["fig6"]) == 0
+        output = capsys.readouterr().out
+        assert "with prediction" in output
+        assert "9216" in output
+
+    def test_table4_command(self, capsys):
+        assert main(["table4"]) == 0
+        output = capsys.readouterr().out
+        assert "MMAE" in output
+        assert "area_efficiency_gain" in output
+
+    def test_fig7_command(self, capsys):
+        assert main(["fig7"]) == 0
+        output = capsys.readouterr().out
+        assert "16-core" in output

@@ -1,0 +1,208 @@
+"""Tests for precisions, GEMM shapes/workloads, two-level tiling and reference kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gemm import (
+    GEMMShape,
+    GEMMWorkload,
+    Precision,
+    TileConfig,
+    TwoLevelTiling,
+    blocked_gemm,
+    hpl_like_workloads,
+    paper_matrix_sizes,
+    random_workloads,
+    reference_gemm,
+    sweep_square_sizes,
+    tile_ranges,
+    tiled_gemm_trace,
+)
+from repro.gemm.tiling import PAPER_LEVEL1, PAPER_LEVEL2, Tile
+
+
+class TestPrecision:
+    def test_bytes_per_element(self):
+        assert Precision.FP64.bytes_per_element == 8
+        assert Precision.FP32.bytes_per_element == 4
+        assert Precision.FP16.bytes_per_element == 2
+
+    def test_simd_ways_match_fig2(self):
+        assert Precision.FP64.simd_ways == 1
+        assert Precision.FP32.simd_ways == 2
+        assert Precision.FP16.simd_ways == 4
+
+    def test_fp16_accumulates_in_fp32(self):
+        assert Precision.FP16.accumulate_dtype == np.float32
+        assert Precision.FP64.accumulate_dtype == np.float64
+
+    def test_from_string(self):
+        assert Precision.from_string("FP32") is Precision.FP32
+        assert Precision.from_string("float16") is Precision.FP16
+        with pytest.raises(ValueError):
+            Precision.from_string("int8")
+
+
+class TestGEMMShape:
+    def test_flops_and_macs(self):
+        shape = GEMMShape(4, 5, 6)
+        assert shape.macs == 120
+        assert shape.flops == 240
+
+    def test_operand_bytes(self):
+        shape = GEMMShape(4, 5, 6, Precision.FP32)
+        assert shape.bytes_a == 4 * 6 * 4
+        assert shape.bytes_b == 6 * 5 * 4
+        assert shape.bytes_c == 4 * 5 * 4
+        assert shape.total_bytes == shape.bytes_a + shape.bytes_b + shape.bytes_c
+
+    def test_arithmetic_intensity_grows_with_size(self):
+        assert GEMMShape(1024, 1024, 1024).arithmetic_intensity > GEMMShape(64, 64, 64).arithmetic_intensity
+
+    def test_split_rows_conserves_work(self):
+        shape = GEMMShape(100, 64, 64)
+        parts = shape.split_rows(8)
+        assert sum(part.m for part in parts) == 100
+        assert sum(part.flops for part in parts) == shape.flops
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            GEMMShape(0, 4, 4)
+
+    def test_with_precision(self):
+        assert GEMMShape(8, 8, 8).with_precision(Precision.FP16).precision is Precision.FP16
+
+
+class TestWorkloads:
+    def test_paper_sizes(self):
+        assert paper_matrix_sizes(6) == (256, 512, 1024, 2048, 4096, 9216)
+        assert 3072 in paper_matrix_sizes(7)
+        with pytest.raises(ValueError):
+            paper_matrix_sizes(9)
+
+    def test_sweep_square_sizes(self):
+        shapes = sweep_square_sizes([128, 256])
+        assert [s.m for s in shapes] == [128, 256]
+        assert all(s.m == s.n == s.k for s in shapes)
+
+    def test_random_workloads_reproducible(self):
+        a = random_workloads(5, seed=3)
+        b = random_workloads(5, seed=3)
+        assert a == b
+
+    def test_random_workloads_respect_bounds(self):
+        for shape in random_workloads(20, min_dim=100, max_dim=200, seed=0):
+            assert 100 <= shape.m <= 200
+            assert 100 <= shape.n <= 200
+            assert 100 <= shape.k <= 200
+
+    def test_hpl_like_ladder(self):
+        workload = hpl_like_workloads(max_size=4096, step=1024)
+        sizes = [shape.m for shape in workload]
+        assert sizes == [4096, 3072, 2048, 1024]
+
+    def test_workload_aggregates(self):
+        workload = GEMMWorkload("w", [GEMMShape(10, 10, 10), GEMMShape(20, 20, 20)],
+                                non_gemm_flops=100, non_gemm_bytes=200)
+        assert workload.gemm_flops == 2 * 1000 + 2 * 8000
+        assert workload.total_flops == workload.gemm_flops + 100
+        assert len(workload) == 2
+
+    def test_workload_scaled(self):
+        workload = GEMMWorkload("w", [GEMMShape(8, 8, 8)], non_gemm_flops=10)
+        scaled = workload.scaled(3)
+        assert len(scaled) == 3
+        assert scaled.non_gemm_flops == 30
+
+
+class TestTiling:
+    def test_tile_ranges_cover_extent(self):
+        ranges = tile_ranges(100, 32)
+        assert ranges[0] == (0, 32)
+        assert ranges[-1] == (96, 100)
+        assert sum(end - start for start, end in ranges) == 100
+
+    def test_paper_tiling_constants(self):
+        assert (PAPER_LEVEL1.rows, PAPER_LEVEL1.cols) == (1024, 1024)
+        assert (PAPER_LEVEL2.rows, PAPER_LEVEL2.cols) == (64, 64)
+
+    def test_level1_grid(self):
+        tiling = TwoLevelTiling(GEMMShape(2048, 1024, 3072))
+        assert tiling.level1_grid == (2, 1, 3)
+        assert tiling.num_level1_tiles == 6
+
+    def test_level2_count_within_tile(self):
+        tiling = TwoLevelTiling(GEMMShape(1024, 1024, 1024))
+        tile = next(tiling.level1_tiles())
+        assert tiling.num_level2_tiles(tile) == 16 * 16 * 16
+
+    def test_tiles_cover_shape_exactly(self):
+        for shape in (GEMMShape(1000, 900, 1100), GEMMShape(64, 64, 64), GEMMShape(4096, 128, 256)):
+            assert TwoLevelTiling(shape).check_covers_shape()
+
+    def test_level2_must_not_exceed_level1(self):
+        with pytest.raises(ValueError):
+            TwoLevelTiling(GEMMShape(128, 128, 128), TileConfig(32, 32), TileConfig(64, 64))
+
+    def test_tile_operand_bytes(self):
+        tile = Tile(0, 64, 0, 32, 0, 16)
+        a, b, c = tile.operand_bytes(8)
+        assert a == 64 * 16 * 8
+        assert b == 16 * 32 * 8
+        assert c == 64 * 32 * 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(1, 300), n=st.integers(1, 300), k=st.integers(1, 300),
+        tile1=st.sampled_from([64, 128, 200]), tile2=st.sampled_from([16, 32, 64]),
+    )
+    def test_two_level_tiling_partitions_all_macs(self, m, n, k, tile1, tile2):
+        """Every MAC of the GEMM is covered exactly once by the level-2 tiles."""
+        if tile2 > tile1:
+            tile1, tile2 = tile2, tile1
+        shape = GEMMShape(m, n, k)
+        tiling = TwoLevelTiling(shape, TileConfig(tile1, tile1), TileConfig(tile2, tile2))
+        macs = sum(
+            tile2_.macs
+            for tile1_ in tiling.level1_tiles()
+            for tile2_ in tiling.level2_tiles(tile1_)
+        )
+        assert macs == shape.macs
+
+
+class TestReferenceKernels:
+    def test_reference_gemm_matches_numpy(self, rng):
+        a = rng.standard_normal((37, 53))
+        b = rng.standard_normal((53, 29))
+        c = rng.standard_normal((37, 29))
+        np.testing.assert_allclose(reference_gemm(a, b, c), a @ b + c, rtol=1e-13)
+
+    def test_reference_gemm_shape_check(self):
+        with pytest.raises(ValueError):
+            reference_gemm(np.zeros((4, 5)), np.zeros((6, 7)))
+
+    def test_blocked_gemm_equals_reference(self, rng):
+        a = rng.standard_normal((130, 70))
+        b = rng.standard_normal((70, 90))
+        c = rng.standard_normal((130, 90))
+        blocked = blocked_gemm(a, b, c, TileConfig(64, 64), TileConfig(16, 16))
+        np.testing.assert_allclose(blocked, a @ b + c, rtol=1e-10)
+
+    def test_blocked_gemm_without_c(self, rng):
+        a = rng.standard_normal((65, 65))
+        b = rng.standard_normal((65, 65))
+        np.testing.assert_allclose(
+            blocked_gemm(a, b, None, TileConfig(32, 32), TileConfig(8, 8)), a @ b, rtol=1e-10
+        )
+
+    def test_trace_visits_every_output_tile(self):
+        shape = GEMMShape(128, 128, 128)
+        trace = tiled_gemm_trace(shape, TileConfig(128, 128), TileConfig(64, 64))
+        assert len(trace) == 2 * 2 * 2
+        covered = {(r0, r1, c0, c1) for r0, r1, c0, c1, _, _ in trace}
+        assert (0, 64, 64, 128) in covered
+
+    def test_trace_is_deterministic(self):
+        shape = GEMMShape(256, 192, 128)
+        assert tiled_gemm_trace(shape) == tiled_gemm_trace(shape)

@@ -1,0 +1,201 @@
+"""End-to-end integration tests: MPAIS instructions -> MTQ/STQ -> MMAE -> memory.
+
+These tests run the full software-visible flow the paper describes: pack a
+GEMM descriptor into registers, execute MA_CFG on the CPU core, let the MMAE
+drain its Slave Task Queue (computing real data through the systolic-array
+datapath), poll with MA_READ, release with MA_STATE, and handle exceptions
+with MA_CLEAR — including across process switches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MACORuntime, MACOSystem, maco_default_config
+from repro.cpu.exceptions import ExceptionType
+from repro.cpu.mtq import MTQState, StatusWord
+from repro.gemm import Precision
+from repro.isa.assembler import assemble_program
+from repro.isa.instructions import GEMMDescriptor
+
+
+class TestFunctionalGEMMThroughMPAIS:
+    def test_fp64_gemm_matches_numpy(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        a = rng.standard_normal((80, 96))
+        b = rng.standard_normal((96, 72))
+        c = rng.standard_normal((80, 72))
+        result, submission = node.run_gemm_functional(a, b, c, Precision.FP64)
+        assert submission.completed
+        assert submission.exception is ExceptionType.NONE
+        np.testing.assert_allclose(result, a @ b + c, rtol=1e-10, atol=1e-10)
+
+    def test_result_written_back_to_host_memory(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        result, submission = node.run_gemm_functional(a, b, None)
+        stored = node.host_memory.matrix_at(submission.descriptor.addr_c)
+        np.testing.assert_array_equal(stored, result)
+
+    def test_input_matrices_not_modified(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        a_copy, b_copy = a.copy(), b.copy()
+        node.run_gemm_functional(a, b, None)
+        np.testing.assert_array_equal(a, a_copy)
+        np.testing.assert_array_equal(b, b_copy)
+
+    def test_mtq_entry_released_after_ma_state(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        node.run_gemm_functional(rng.standard_normal((64, 64)), rng.standard_normal((64, 64)))
+        assert node.cpu.mtq.outstanding_tasks() == 0
+        assert node.cpu.mtq.free_entries() == len(node.cpu.mtq)
+
+    def test_non_square_tiled_gemm(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        a = rng.standard_normal((130, 70))
+        b = rng.standard_normal((70, 50))
+        result, _ = node.run_gemm_functional(a, b, None, ttr=32, ttc=32)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-10)
+
+    def test_fp32_gemm_through_full_path(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 64)).astype(np.float32)
+        result, _ = node.run_gemm_functional(a, b, None, precision=Precision.FP32)
+        np.testing.assert_allclose(result, a.astype(np.float64) @ b.astype(np.float64),
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_sequential_gemms_reuse_mtq_entries(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        for _ in range(2 * len(node.cpu.mtq)):
+            a = rng.standard_normal((32, 32))
+            b = rng.standard_normal((32, 32))
+            result, submission = node.run_gemm_functional(a, b, None, ttr=32, ttc=32)
+            assert submission.completed
+            np.testing.assert_allclose(result, a @ b, rtol=1e-10)
+
+
+class TestAsyncRuntime:
+    def test_async_submit_poll_wait(self, rng):
+        runtime = MACORuntime(config=maco_default_config(num_nodes=1))
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        handle = runtime.gemm_async(a, b)
+        status = runtime.poll(handle)
+        assert status.valid and not status.done          # still queued, MA_READ does not block
+        result = runtime.wait(handle)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-10)
+        assert runtime.outstanding_tasks() == 0
+
+    def test_multiple_async_tasks_queue_in_stq(self, rng):
+        runtime = MACORuntime(config=maco_default_config(num_nodes=1))
+        handles = []
+        expected = []
+        for _ in range(3):
+            a = rng.standard_normal((48, 48))
+            b = rng.standard_normal((48, 48))
+            handles.append(runtime.gemm_async(a, b, tile=48))
+            expected.append(a @ b)
+        for handle, reference in zip(handles, expected):
+            np.testing.assert_allclose(runtime.wait(handle), reference, rtol=1e-10)
+
+    def test_blocking_gemm_api(self, rng):
+        runtime = MACORuntime(config=maco_default_config(num_nodes=2))
+        a = rng.standard_normal((96, 64))
+        b = rng.standard_normal((64, 32))
+        np.testing.assert_allclose(runtime.gemm(a, b), a @ b, rtol=1e-10)
+
+
+class TestExceptionsAndMultiprocess:
+    def test_unmapped_operand_raises_page_fault_exception(self, single_node_system):
+        node = single_node_system.node(0)
+        descriptor = GEMMDescriptor(
+            addr_a=0xDEAD_0000, addr_b=0xBEEF_0000, addr_c=0xFEED_0000,
+            m=64, n=64, k=64, tile_rows=64, tile_cols=64, ttr=64, ttc=64,
+        )
+        submission = node.submit_gemm(descriptor)
+        assert submission.status.done
+        assert submission.status.exception_en
+        assert submission.status.exception_type is ExceptionType.PAGE_FAULT
+        # The entry stays allocated until MA_CLEAR.
+        assert node.cpu.mtq.state_of(submission.maid) is MTQState.DONE_EXCEPTION
+        node.cpu.registers.write(1, submission.maid)
+        node.executor.execute_program(assemble_program("MA_CLEAR X1"))
+        assert node.cpu.mtq.state_of(submission.maid) is MTQState.FREE
+
+    def test_buffer_overflow_exception_through_full_path(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        a = rng.standard_normal((256, 256))
+        addr_a, _ = node.allocate_matrix(256, 256, data=a)
+        addr_b, _ = node.allocate_matrix(256, 256, data=a)
+        addr_c, _ = node.allocate_matrix(256, 256)
+        descriptor = GEMMDescriptor(
+            addr_a=addr_a, addr_b=addr_b, addr_c=addr_c, m=256, n=256, k=256,
+            tile_rows=256, tile_cols=256, ttr=256, ttc=256,
+        )
+        submission = node.submit_gemm(descriptor)
+        assert submission.status.exception_type is ExceptionType.BUFFER_OVERFLOW
+
+    def test_two_processes_results_survive_context_switch(self, single_node_system, rng):
+        node = single_node_system.node(0)
+        process_a = node.default_process
+        process_b = node.cpu.processes.create_process("second")
+        node.cpu.mmu.register_page_table(process_b.address_space.page_table)
+
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        addr_a, _ = node.allocate_matrix(64, 64, data=a)
+        addr_b, _ = node.allocate_matrix(64, 64, data=b)
+        addr_c, c_array = node.allocate_matrix(64, 64)
+        descriptor = GEMMDescriptor(addr_a=addr_a, addr_b=addr_b, addr_c=addr_c,
+                                    m=64, n=64, k=64, tile_rows=64, tile_cols=64, ttr=64, ttc=64)
+
+        # Process A submits but does not wait.
+        submission = node.submit_gemm(descriptor, execute=False)
+        # Switch to process B, which does unrelated work.
+        node.cpu.switch_process(process_b.asid)
+        assert node.executor.asid == process_b.asid
+        # The MMAE drains its queue while process B runs.
+        node.mmae.execute_pending()
+        # Back to process A: the MTQ entry still belongs to it and is done.
+        node.cpu.switch_process(process_a.asid)
+        node.cpu.registers.write(1, submission.maid)
+        trace = node.executor.execute_program(assemble_program("MA_STATE X3, X1"))[0]
+        status = StatusWord.unpack(trace.status_word)
+        assert status.done and status.asid == process_a.asid
+        np.testing.assert_allclose(c_array, a @ b, rtol=1e-10)
+
+    def test_data_migration_instructions_through_path(self, single_node_system, rng):
+        """MA_INIT zeroes a region and MA_MOVE copies one region to another."""
+        from repro.isa.instructions import InitDescriptor, MoveDescriptor
+
+        node = single_node_system.node(0)
+        src = rng.standard_normal((32, 32))
+        addr_src, _ = node.allocate_matrix(32, 32, data=src)
+        addr_dst, dst_array = node.allocate_matrix(32, 32, data=rng.standard_normal((32, 32)))
+
+        node.cpu.registers.write_block(2, MoveDescriptor(
+            src_addr=addr_src, dst_addr=addr_dst, length_bytes=src.nbytes).pack())
+        node.executor.execute_program(assemble_program("MA_MOVE X1, X2"))
+        node.mmae.execute_pending()
+        np.testing.assert_array_equal(dst_array, src)
+
+        node.cpu.registers.write_block(2, InitDescriptor(
+            dst_addr=addr_dst, length_bytes=src.nbytes).pack())
+        node.executor.execute_program(assemble_program("MA_INIT X1, X2"))
+        node.mmae.execute_pending()
+        assert np.all(dst_array == 0)
+
+    def test_stash_instruction_reaches_shared_l3(self, single_node_system):
+        from repro.isa.instructions import StashDescriptor
+        from repro.mem.address import AddressRange
+
+        node = single_node_system.node(0)
+        addr, _ = node.allocate_matrix(64, 64)
+        node.cpu.registers.write_block(2, StashDescriptor(addr=addr, length_bytes=8192, lock=True).pack())
+        node.executor.execute_program(assemble_program("MA_STASH X1, X2"))
+        node.mmae.execute_pending()
+        assert single_node_system.l3.residency_of(AddressRange(addr, 8192)) == 1.0
+        assert single_node_system.l3.total_locked_lines > 0

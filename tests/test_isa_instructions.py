@@ -1,0 +1,135 @@
+"""Tests for MPAIS instruction definitions and descriptor packing (paper Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gemm.precision import Precision
+from repro.isa.instructions import (
+    GEMMDescriptor,
+    INSTRUCTION_TABLE,
+    InitDescriptor,
+    Instruction,
+    MoveDescriptor,
+    Opcode,
+    PARAMETER_REGISTERS,
+    StashDescriptor,
+)
+
+
+class TestInstructionTable:
+    def test_all_seven_instructions_present(self):
+        assert set(INSTRUCTION_TABLE) == set(Opcode)
+        assert len(INSTRUCTION_TABLE) == 7
+
+    def test_functional_grouping_matches_table2(self):
+        groups = {info.function for info in INSTRUCTION_TABLE.values()}
+        assert groups == {"Data migration", "GEMM computing", "Task management"}
+        migration = [op for op, info in INSTRUCTION_TABLE.items() if info.function == "Data migration"]
+        assert set(migration) == {Opcode.MA_MOVE, Opcode.MA_INIT, Opcode.MA_STASH}
+        management = [op for op, info in INSTRUCTION_TABLE.items() if info.function == "Task management"]
+        assert set(management) == {Opcode.MA_READ, Opcode.MA_STATE, Opcode.MA_CLEAR}
+
+    def test_usage_strings_mention_registers(self):
+        for info in INSTRUCTION_TABLE.values():
+            assert "Rn" in info.usage
+
+
+class TestInstruction:
+    def test_parameter_block_users(self):
+        assert Instruction(Opcode.MA_CFG, 1, 2).uses_parameter_block
+        assert Instruction(Opcode.MA_STASH, 1, 2).uses_parameter_block
+        assert not Instruction(Opcode.MA_READ, 1, 2).uses_parameter_block
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MA_CFG, rd=32, rn=0)
+
+    def test_str_formats(self):
+        assert str(Instruction(Opcode.MA_CFG, 1, 2)) == "MA_CFG X1, X2"
+        assert str(Instruction(Opcode.MA_CLEAR, 31, 3)) == "MA_CLEAR X3"
+
+
+class TestGEMMDescriptor:
+    def make(self, **overrides) -> GEMMDescriptor:
+        defaults = dict(
+            addr_a=0x10_0000, addr_b=0x20_0000, addr_c=0x30_0000,
+            m=512, n=384, k=256, precision=Precision.FP32,
+            tile_rows=256, tile_cols=256, ttr=64, ttc=64,
+        )
+        defaults.update(overrides)
+        return GEMMDescriptor(**defaults)
+
+    def test_pack_uses_six_registers(self):
+        assert len(self.make().pack()) == PARAMETER_REGISTERS
+
+    def test_pack_unpack_roundtrip(self):
+        descriptor = self.make()
+        assert GEMMDescriptor.unpack(descriptor.pack()) == descriptor
+
+    def test_roundtrip_preserves_precision(self):
+        for precision in Precision:
+            descriptor = self.make(precision=precision)
+            assert GEMMDescriptor.unpack(descriptor.pack()).precision is precision
+
+    def test_default_leading_dimensions(self):
+        descriptor = self.make(lda=0, ldb=0, ldc=0)
+        assert descriptor.effective_lda == descriptor.k
+        assert descriptor.effective_ldb == descriptor.n
+        assert descriptor.effective_ldc == descriptor.n
+
+    def test_flops(self):
+        descriptor = self.make(m=10, n=20, k=30, tile_rows=32, tile_cols=32, ttr=8, ttc=8)
+        assert descriptor.flops == 2 * 10 * 20 * 30
+
+    def test_second_level_tile_must_fit_first_level(self):
+        with pytest.raises(ValueError):
+            self.make(tile_rows=32, ttr=64)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(m=0)
+
+    def test_wrong_register_count_rejected(self):
+        with pytest.raises(ValueError):
+            GEMMDescriptor.unpack([0, 1, 2])
+
+    @given(
+        m=st.integers(1, 0xFFFF), n=st.integers(1, 0xFFFF), k=st.integers(1, 0xFFFF),
+        addr=st.integers(0, 2**48),
+        precision=st.sampled_from(list(Precision)),
+    )
+    def test_roundtrip_property(self, m, n, k, addr, precision):
+        descriptor = GEMMDescriptor(
+            addr_a=addr, addr_b=addr + (1 << 50), addr_c=addr + (1 << 51),
+            m=m, n=n, k=k, precision=precision,
+            tile_rows=1024, tile_cols=1024, ttr=64, ttc=64,
+        )
+        recovered = GEMMDescriptor.unpack(descriptor.pack())
+        assert (recovered.m, recovered.n, recovered.k) == (m, n, k)
+        assert recovered.addr_a == addr
+        assert recovered.precision is precision
+
+
+class TestDataMigrationDescriptors:
+    def test_move_roundtrip(self):
+        descriptor = MoveDescriptor(src_addr=0x1000, dst_addr=0x9000, length_bytes=4096,
+                                    element_bytes=4, src_stride_bytes=64, dst_stride_bytes=128)
+        assert MoveDescriptor.unpack(descriptor.pack()) == descriptor
+
+    def test_move_invalid_element_size(self):
+        with pytest.raises(ValueError):
+            MoveDescriptor(src_addr=0, dst_addr=0, length_bytes=10, element_bytes=3)
+
+    def test_init_roundtrip(self):
+        descriptor = InitDescriptor(dst_addr=0x4000, length_bytes=1 << 20, element_bytes=8)
+        assert InitDescriptor.unpack(descriptor.pack()) == descriptor
+
+    def test_stash_roundtrip_with_lock(self):
+        descriptor = StashDescriptor(addr=0x8000, length_bytes=1 << 16, lock=True)
+        recovered = StashDescriptor.unpack(descriptor.pack())
+        assert recovered == descriptor
+        assert recovered.lock is True
+
+    def test_stash_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            StashDescriptor(addr=0, length_bytes=0)

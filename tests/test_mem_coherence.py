@@ -1,0 +1,135 @@
+"""Tests for the MOESI directory controller (the CCM)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.coherence import CoherenceState, DirectoryController
+
+
+LINE = 0x4000
+
+
+class TestReads:
+    def test_first_read_fetches_from_memory_exclusive(self):
+        ccm = DirectoryController()
+        response = ccm.handle_read(0, LINE)
+        assert response.data_from_memory
+        assert ccm.lookup_state(LINE) is CoherenceState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        ccm = DirectoryController()
+        ccm.handle_read(0, LINE)
+        response = ccm.handle_read(1, LINE)
+        assert not response.data_from_memory
+        assert response.forwarded_from_owner
+        assert ccm.lookup_state(LINE) is CoherenceState.SHARED
+        assert ccm.sharers_of(LINE) == {0, 1}
+
+    def test_read_after_modified_goes_owned(self):
+        ccm = DirectoryController()
+        ccm.handle_write(0, LINE)
+        ccm.handle_read(1, LINE)
+        assert ccm.lookup_state(LINE) is CoherenceState.OWNED
+        assert ccm.sharers_of(LINE) == {0, 1}
+
+    def test_owner_re_read_is_silent(self):
+        ccm = DirectoryController()
+        ccm.handle_read(0, LINE)
+        response = ccm.handle_read(0, LINE)
+        assert not response.forwarded_from_owner
+        assert ccm.lookup_state(LINE) is CoherenceState.EXCLUSIVE
+
+
+class TestWrites:
+    def test_write_invalidates_sharers(self):
+        ccm = DirectoryController()
+        for node in range(4):
+            ccm.handle_read(node, LINE)
+        response = ccm.handle_write(3, LINE)
+        assert response.invalidations_sent == 3
+        assert ccm.lookup_state(LINE) is CoherenceState.MODIFIED
+        assert ccm.sharers_of(LINE) == {3}
+
+    def test_write_to_invalid_fetches_memory(self):
+        ccm = DirectoryController()
+        response = ccm.handle_write(2, LINE)
+        assert response.data_from_memory
+        assert ccm.lookup_state(LINE) is CoherenceState.MODIFIED
+
+    def test_write_after_write_transfers_ownership(self):
+        ccm = DirectoryController()
+        ccm.handle_write(0, LINE)
+        response = ccm.handle_write(1, LINE)
+        assert response.forwarded_from_owner
+        assert response.invalidations_sent == 1
+        assert ccm.sharers_of(LINE) == {1}
+
+    def test_messages_account_for_invalidations(self):
+        ccm = DirectoryController()
+        ccm.handle_read(0, LINE)
+        ccm.handle_read(1, LINE)
+        response = ccm.handle_write(2, LINE)
+        # data/ack + (inval + ack) per sharer.
+        assert response.messages == 1 + 2 * response.invalidations_sent + (1 if response.forwarded_from_owner else 0)
+
+
+class TestEvictions:
+    def test_modified_eviction_writes_back(self):
+        ccm = DirectoryController()
+        ccm.handle_write(0, LINE)
+        assert ccm.handle_eviction(0, LINE) is True
+        assert ccm.lookup_state(LINE) is CoherenceState.INVALID
+
+    def test_shared_eviction_no_writeback(self):
+        ccm = DirectoryController()
+        ccm.handle_read(0, LINE)
+        ccm.handle_read(1, LINE)
+        assert ccm.handle_eviction(1, LINE) is False
+        assert ccm.lookup_state(LINE) is CoherenceState.SHARED
+
+    def test_last_sharer_eviction_invalidates(self):
+        ccm = DirectoryController()
+        ccm.handle_read(0, LINE)
+        ccm.handle_read(1, LINE)
+        ccm.handle_eviction(0, LINE)
+        ccm.handle_eviction(1, LINE)
+        assert ccm.lookup_state(LINE) is CoherenceState.INVALID
+
+    def test_eviction_of_untracked_line_is_noop(self):
+        ccm = DirectoryController()
+        assert ccm.handle_eviction(0, 0x9999) is False
+
+
+class TestProtocolInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write", "evict"]),
+                st.integers(min_value=0, max_value=7),   # node
+                st.integers(min_value=0, max_value=3),   # line index
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_random_traffic_never_violates_moesi(self, operations):
+        """Whatever the request interleaving, the directory invariants must hold."""
+        ccm = DirectoryController()
+        for op, node, line_index in operations:
+            line = line_index * 64
+            if op == "read":
+                ccm.handle_read(node, line)
+            elif op == "write":
+                ccm.handle_write(node, line)
+            else:
+                ccm.handle_eviction(node, line)
+            ccm.check_all_invariants()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=2, max_size=20))
+    def test_single_writer_invariant(self, writers):
+        ccm = DirectoryController()
+        for node in writers:
+            ccm.handle_write(node, LINE)
+            assert ccm.sharers_of(LINE) == {node}

@@ -1,0 +1,165 @@
+"""Tests for the distributed L3 (stash/lock), the DRAM model, and host memory."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address import AddressRange
+from repro.mem.dram import DRAMConfig, DRAMModel
+from repro.mem.hostmem import HostMemory, HostMemoryError
+from repro.mem.l3cache import DistributedL3Cache, StashRequest
+
+
+class TestDistributedL3:
+    def make_l3(self) -> DistributedL3Cache:
+        return DistributedL3Cache(num_slices=4, slice_size_bytes=256 * 1024)
+
+    def test_total_capacity(self):
+        l3 = self.make_l3()
+        assert l3.total_size_bytes == 4 * 256 * 1024
+
+    def test_addresses_interleave_across_slices(self):
+        l3 = self.make_l3()
+        slices = {l3.slice_for(line * 64).slice_id for line in range(8)}
+        assert slices == {0, 1, 2, 3}
+
+    def test_miss_then_hit(self):
+        l3 = self.make_l3()
+        first = l3.access(0, 0x1000)
+        second = l3.access(0, 0x1000)
+        assert not first.hit and first.from_dram
+        assert second.hit and not second.from_dram
+        assert second.latency_cycles < first.latency_cycles
+
+    def test_access_range_counts_lines(self):
+        l3 = self.make_l3()
+        counts = l3.access_range(0, AddressRange(0, 64 * 10))
+        assert counts["misses"] == 10
+        counts = l3.access_range(0, AddressRange(0, 64 * 10))
+        assert counts["hits"] == 10
+
+    def test_stash_prefetches_lines(self):
+        l3 = self.make_l3()
+        result = l3.stash(StashRequest(AddressRange(0, 4096), lock=False, requester=1))
+        assert result.lines_fetched == 64
+        assert l3.residency_of(AddressRange(0, 4096)) == 1.0
+
+    def test_stash_is_idempotent(self):
+        l3 = self.make_l3()
+        l3.stash(StashRequest(AddressRange(0, 4096)))
+        result = l3.stash(StashRequest(AddressRange(0, 4096)))
+        assert result.lines_fetched == 0
+        assert result.lines_already_resident == 64
+
+    def test_stash_with_lock_pins_lines(self):
+        l3 = self.make_l3()
+        result = l3.stash(StashRequest(AddressRange(0, 4096), lock=True))
+        assert result.lines_locked == 64
+        assert l3.total_locked_lines == 64
+
+    def test_locked_lines_survive_streaming(self):
+        l3 = DistributedL3Cache(num_slices=1, slice_size_bytes=16 * 1024, associativity=4)
+        target = AddressRange(0, 2048)
+        l3.stash(StashRequest(target, lock=True))
+        # Stream several times the cache capacity through it.
+        for line in range(0, 64 * 1024, 64):
+            l3.access(0, 0x100000 + line)
+        assert l3.residency_of(target) == 1.0
+
+    def test_lock_budget_respected(self):
+        l3 = DistributedL3Cache(num_slices=1, slice_size_bytes=8 * 1024, max_locked_fraction=0.5)
+        result = l3.stash(StashRequest(AddressRange(0, 8 * 1024), lock=True))
+        assert result.lines_locked <= int(0.5 * l3.slices[0].config.num_lines) + 1
+
+    def test_unlock_range(self):
+        l3 = self.make_l3()
+        l3.stash(StashRequest(AddressRange(0, 1024), lock=True))
+        unlocked = l3.unlock_range(AddressRange(0, 1024))
+        assert unlocked == 16
+        assert l3.total_locked_lines == 0
+
+    def test_hit_rate(self):
+        l3 = self.make_l3()
+        l3.access(0, 0)
+        l3.access(0, 0)
+        assert l3.hit_rate() == pytest.approx(0.5)
+
+
+class TestDRAMModel:
+    def test_total_bandwidth(self):
+        dram = DRAMModel(DRAMConfig(num_channels=4, channel_bandwidth_bytes_per_s=50e9))
+        assert dram.effective_bandwidth(1) == pytest.approx(200e9)
+
+    def test_bandwidth_degrades_with_many_streams(self):
+        dram = DRAMModel()
+        assert dram.effective_bandwidth(16) < dram.effective_bandwidth(4)
+        assert dram.effective_bandwidth(16) >= 0.7 * dram.effective_bandwidth(1)
+
+    def test_transfer_time_scales_with_size(self):
+        dram = DRAMModel()
+        small = dram.transfer_time_s(1 << 20)
+        large = dram.transfer_time_s(1 << 24)
+        assert large > small
+
+    def test_transfer_time_includes_latency_floor(self):
+        dram = DRAMModel()
+        assert dram.transfer_time_s(0) >= dram.config.access_latency_ns * 1e-9
+
+    def test_traffic_accounting(self):
+        dram = DRAMModel()
+        dram.transfer_time_s(1000, write=False)
+        dram.transfer_time_s(500, write=True)
+        assert dram.bytes_read == 1000
+        assert dram.bytes_written == 500
+        assert dram.total_bytes == 1500
+
+    def test_per_stream_share_decreases(self):
+        dram = DRAMModel()
+        assert dram.per_stream_bandwidth(16) < dram.per_stream_bandwidth(2)
+
+    def test_invalid_stream_count(self):
+        with pytest.raises(ValueError):
+            DRAMModel().effective_bandwidth(0)
+
+
+class TestHostMemory:
+    def test_register_and_read_back(self):
+        memory = HostMemory()
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        memory.register_matrix(0x1000, array)
+        assert memory.has_matrix(0x1000)
+        np.testing.assert_array_equal(memory.matrix_at(0x1000), array)
+
+    def test_overlapping_regions_rejected(self):
+        memory = HostMemory()
+        memory.register_matrix(0x1000, np.zeros((4, 4)))
+        with pytest.raises(HostMemoryError):
+            memory.register_matrix(0x1000 + 64, np.zeros((4, 4)))
+
+    def test_find_region(self):
+        memory = HostMemory()
+        memory.register_matrix(0x2000, np.zeros((8, 8)))
+        assert memory.find_region(0x2000 + 100) == 0x2000
+        assert memory.find_region(0x9000) is None
+
+    def test_write_matrix_shape_checked(self):
+        memory = HostMemory()
+        memory.register_matrix(0x1000, np.zeros((2, 2)))
+        with pytest.raises(HostMemoryError):
+            memory.write_matrix(0x1000, np.zeros((3, 3)))
+
+    def test_zero_region(self):
+        memory = HostMemory()
+        memory.register_matrix(0x1000, np.ones((4, 4)))
+        memory.zero_region(0x1000)
+        assert np.all(memory.matrix_at(0x1000) == 0)
+
+    def test_only_2d_matrices(self):
+        memory = HostMemory()
+        with pytest.raises(HostMemoryError):
+            memory.register_matrix(0, np.zeros(16))
+
+    def test_unregister(self):
+        memory = HostMemory()
+        memory.register_matrix(0x1000, np.zeros((2, 2)))
+        memory.unregister(0x1000)
+        assert not memory.has_matrix(0x1000)

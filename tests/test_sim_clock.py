@@ -1,0 +1,84 @@
+"""Tests for the clock / clock-domain helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Clock, CycleDomain
+
+
+class TestClock:
+    def test_advance_accumulates_cycles(self):
+        clock = Clock(frequency_hz=2.5e9)
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.cycle == 15
+
+    def test_advance_returns_new_cycle(self):
+        clock = Clock(frequency_hz=1e9)
+        assert clock.advance(3) == 3
+
+    def test_negative_advance_rejected(self):
+        clock = Clock(frequency_hz=1e9)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(frequency_hz=0)
+
+    def test_period_is_inverse_of_frequency(self):
+        clock = Clock(frequency_hz=2.0e9)
+        assert math.isclose(clock.period_s, 0.5e-9)
+
+    def test_cycles_to_seconds_roundtrip(self):
+        clock = Clock(frequency_hz=2.2e9)
+        seconds = clock.cycles_to_seconds(2.2e9)
+        assert math.isclose(seconds, 1.0)
+        assert clock.seconds_to_cycles(seconds) == 2.2e9
+
+    def test_seconds_to_cycles_rounds_up(self):
+        clock = Clock(frequency_hz=1e9)
+        assert clock.seconds_to_cycles(1.5e-9) == 2
+
+    def test_negative_duration_rejected(self):
+        clock = Clock(frequency_hz=1e9)
+        with pytest.raises(ValueError):
+            clock.seconds_to_cycles(-1.0)
+
+    def test_elapsed_follows_advance(self):
+        clock = Clock(frequency_hz=1e9)
+        clock.advance(1000)
+        assert math.isclose(clock.elapsed_s, 1e-6)
+
+    def test_reset(self):
+        clock = Clock(frequency_hz=1e9)
+        clock.advance(7)
+        clock.reset()
+        assert clock.cycle == 0
+
+
+class TestCycleDomain:
+    def test_paper_clock_domains(self):
+        cpu = CycleDomain("cpu", 2.2e9)
+        mmae = CycleDomain("mmae", 2.5e9)
+        noc = CycleDomain("noc", 2.0e9)
+        assert cpu.frequency_ghz == pytest.approx(2.2)
+        assert mmae.frequency_ghz == pytest.approx(2.5)
+        assert noc.frequency_ghz == pytest.approx(2.0)
+
+    def test_convert_cycles_between_domains(self):
+        cpu = CycleDomain("cpu", 2.2e9)
+        mmae = CycleDomain("mmae", 2.5e9)
+        # 2.2e9 CPU cycles = 1 second = 2.5e9 MMAE cycles.
+        assert cpu.convert_cycles(2.2e9, mmae) == pytest.approx(2.5e9)
+
+    def test_make_clock_inherits_frequency(self):
+        domain = CycleDomain("noc", 2.0e9)
+        clock = domain.make_clock()
+        assert clock.frequency_hz == 2.0e9
+        assert clock.name == "noc"
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            CycleDomain("bad", -1.0)

@@ -1,0 +1,167 @@
+"""Tests for the event queue, simulation engine and statistics registry."""
+
+import pytest
+
+from repro.sim import Counter, EventQueue, Histogram, SimulationEngine, StatsRegistry
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_respects_priority_then_fifo(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("low"), priority=1)
+        queue.push(1.0, lambda: order.append("first"), priority=0)
+        queue.push(1.0, lambda: order.append("second"), priority=0)
+        while queue:
+            queue.pop().fire()
+        assert order == ["first", "second", "low"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append(1))
+        event.cancel()
+        assert queue.pop() is None
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulationEngine:
+    def test_run_advances_time(self):
+        engine = SimulationEngine()
+        engine.schedule(10.0, lambda: None)
+        assert engine.run() == 10.0
+
+    def test_schedule_after_uses_relative_delay(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_after(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [5.0]
+
+    def test_cascading_events(self):
+        engine = SimulationEngine()
+        log = []
+
+        def first():
+            log.append(("first", engine.now))
+            engine.schedule_after(2.0, second)
+
+        def second():
+            log.append(("second", engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule(float(t), lambda: None)
+        engine.run(max_events=3)
+        assert engine.events_fired == 3
+
+    def test_stop_from_callback(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_reset_clears_state(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.events_fired == 0
+
+
+class TestStats:
+    def test_counter_accumulates(self):
+        counter = Counter("x")
+        counter.add(2)
+        counter.add(3.5)
+        assert counter.value == 5.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_histogram_tracks_min_mean_max(self):
+        hist = Histogram("lat")
+        for sample in (1.0, 2.0, 6.0):
+            hist.observe(sample)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 6.0
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_registry_creates_and_reuses_counters(self):
+        stats = StatsRegistry(prefix="node0")
+        stats.counter("hits").add(1)
+        stats.counter("hits").add(1)
+        assert stats.snapshot()["node0.hits"] == 2
+
+    def test_registry_snapshot_includes_histograms(self):
+        stats = StatsRegistry()
+        stats.histogram("lat").observe(4.0)
+        snap = stats.snapshot()
+        assert snap["lat.count"] == 1
+        assert snap["lat.mean"] == 4.0
+
+    def test_registry_reset(self):
+        stats = StatsRegistry()
+        stats.counter("hits").add(5)
+        stats.reset()
+        assert stats.snapshot()["hits"] == 0
+
+    def test_report_lines_sorted(self):
+        stats = StatsRegistry()
+        stats.counter("b").add(1)
+        stats.counter("a").add(2)
+        lines = stats.report_lines()
+        assert lines == ["a = 2", "b = 1"]
