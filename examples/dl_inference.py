@@ -30,6 +30,7 @@ class _MACOAdapter:
     name = "maco"
 
     def __init__(self, config) -> None:
+        self.config = config
         self.system = MACOSystem(config)
 
     def run_workload(self, workload, num_nodes=None) -> WorkloadResult:

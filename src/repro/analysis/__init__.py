@@ -14,7 +14,7 @@ from repro.analysis.efficiency import (
     average_gap,
     summarize_scalability,
 )
-from repro.analysis.reporting import render_table, render_series, format_gflops, format_percent
+from repro.analysis.reporting import render_table, render_series, render_csv, format_gflops, format_percent
 from repro.analysis.roofline import Roofline, RooflinePoint, node_roofline, place_gemm, roofline_sweep
 from repro.analysis.energy import EnergyBreakdown, EnergyModel, PowerParameters
 
@@ -39,6 +39,7 @@ __all__ = [
     "summarize_scalability",
     "render_table",
     "render_series",
+    "render_csv",
     "format_gflops",
     "format_percent",
 ]

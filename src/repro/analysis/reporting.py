@@ -8,6 +8,8 @@ recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Dict, Iterable, List, Sequence
 
 
@@ -45,6 +47,20 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]], title: s
     lines.append("-+-".join("-" * width for width in widths))
     lines.extend(format_row(row) for row in rows)
     return "\n".join(lines)
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render headers + rows as CSV text (for ``repro.cli explore --format csv``)."""
+    rows = [list(row) for row in rows]
+    headers = list(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row} does not match header width {len(headers)}")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue().rstrip("\n")
 
 
 def render_series(

@@ -23,7 +23,7 @@ from typing import Optional
 from repro.baselines.common import BaselineModel
 from repro.core.mapping import partition_gemm
 from repro.core.metrics import WorkloadResult
-from repro.core.perf import estimate_node_gemm, memory_environment
+from repro.core.perf import estimate_node_gemm_cached, memory_environment
 from repro.cpu.core import CPUCore
 from repro.gemm.precision import Precision
 from repro.gemm.workloads import GEMMWorkload
@@ -61,7 +61,7 @@ class GemminiLikeBaseline(BaselineModel):
             plan = partition_gemm(shape, nodes)
             layer_seconds = 0.0
             for assignment in plan.assignments:
-                timing = estimate_node_gemm(
+                timing = estimate_node_gemm_cached(
                     self.config, assignment.shape, active_nodes=nodes,
                     prediction_enabled=False, env=env,
                 )

@@ -7,14 +7,19 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fig8                 # DL workload comparison
     python -m repro.cli table4               # CPU vs MMAE area/power table
     python -m repro.cli gemm --size 4096 --nodes 8 --precision fp64
+    python -m repro.cli explore --sample lhs --points 200 --jobs 4 --format csv
 
 The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
-matches the rows recorded in EXPERIMENTS.md.
+matches the rows recorded in EXPERIMENTS.md.  The sweep-shaped commands
+(``fig6``, ``fig7``, ``fig8``, ``explore``) accept ``--jobs N`` to fan the
+independent evaluations out over a worker pool; the small fixed figure sweeps
+default to serial, while ``explore`` defaults to all CPU cores.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -24,6 +29,7 @@ from repro.analysis import (
     efficiency_gap,
     format_gflops,
     format_percent,
+    render_csv,
     render_series,
     render_table,
 )
@@ -32,9 +38,18 @@ from repro.baselines import (
     GemminiLikeBaseline,
     NoMappingBaseline,
     RASALikeBaseline,
+    compare_systems,
 )
-from repro.core import MACOSystem, maco_default_config, sweep_prediction, sweep_scalability
-from repro.gemm import GEMMShape, Precision
+from repro.core import (
+    DesignSpaceExplorer,
+    MACOSystem,
+    SweepRunner,
+    maco_default_config,
+    pareto_front,
+    sweep_prediction,
+    sweep_scalability,
+)
+from repro.gemm import GEMMShape, Precision, hpl_like_workloads
 from repro.gemm.workloads import FIG6_MATRIX_SIZES, FIG7_MATRIX_SIZES
 from repro.workloads import dl_benchmark_suite
 
@@ -53,7 +68,7 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
 def _cmd_fig6(args: argparse.Namespace) -> int:
     config = maco_default_config()
     sizes = list(FIG6_MATRIX_SIZES)
-    points = sweep_prediction(config, sizes)
+    points = sweep_prediction(config, sizes, jobs=args.jobs)
     with_prediction = efficiency_by_size(points, prediction_enabled=True)
     without = efficiency_by_size(points, prediction_enabled=False)
     gaps = efficiency_gap(points)
@@ -74,9 +89,11 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
     config = maco_default_config()
     sizes = list(FIG7_MATRIX_SIZES)
     node_counts = [1, 2, 4, 8, 16]
-    points = sweep_scalability(config, sizes, node_counts)
+    points = sweep_scalability(config, sizes, node_counts, jobs=args.jobs)
+    # One efficiency_by_size pass per node count (not per matrix size).
+    by_nodes = {nodes: efficiency_by_size(points, active_nodes=nodes) for nodes in node_counts}
     series = {
-        f"{nodes}-core": [efficiency_by_size(points, active_nodes=nodes)[s] for s in sizes]
+        f"{nodes}-core": [by_nodes[nodes][s] for s in sizes]
         for nodes in node_counts
     }
     print(render_series("matrix size", sizes, series, value_formatter=format_percent,
@@ -86,20 +103,69 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
     config = maco_default_config(num_nodes=args.nodes)
-    system = MACOSystem(config)
     suite = dl_benchmark_suite()
-    models = [CPUOnlyBaseline(config), NoMappingBaseline(config),
-              RASALikeBaseline(config), GemminiLikeBaseline(config)]
-    rows = []
-    for model in models:
-        rows.append([model.name] + [
-            format_gflops(model.run_workload(w, num_nodes=args.nodes).gflops) for w in suite
-        ])
-    rows.append(["maco"] + [
-        format_gflops(system.run_workload(w, num_nodes=args.nodes).gflops) for w in suite
-    ])
+    systems = [CPUOnlyBaseline(config), NoMappingBaseline(config),
+               RASALikeBaseline(config), GemminiLikeBaseline(config),
+               MACOSystem(config)]
+    comparison = compare_systems(systems, suite, num_nodes=args.nodes, jobs=args.jobs)
+    rows = [
+        [system] + [format_gflops(comparison.throughput(system, w.name)) for w in suite]
+        for system in comparison.systems()
+    ]
     print(render_table(["system"] + [w.name for w in suite], rows,
                        title=f"Fig. 8 - DL inference throughput ({args.nodes} nodes, FP32)"))
+    return 0
+
+
+def _explore_workload(args: argparse.Namespace):
+    precision = Precision.from_string(args.precision)
+    if args.workload == "hpl":
+        return hpl_like_workloads(max_size=args.size, step=max(args.size // 4, 256),
+                                  precision=precision)
+    return GEMMShape(args.size, args.size, args.size, precision)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    explorer = DesignSpaceExplorer()
+    points = DesignSpaceExplorer.sample(args.sample, args.points, seed=args.seed)
+    if args.sample == "grid" and args.points != 64:
+        print(f"note: --sample grid is the full {len(points)}-point factorial grid; "
+              f"--points/--seed apply to random and lhs sampling only", file=sys.stderr)
+    workload = _explore_workload(args)
+    runner = SweepRunner(jobs=args.jobs)
+    results = explorer.explore(points, workload, objective=args.objective, runner=runner)
+    front = {id(result) for result in pareto_front(results)}
+
+    headers = ["design point", "sa", "buffer_kb", "nodes", "gflops", "efficiency",
+               "gflops_per_mm2", "gflops_per_watt", "seconds", "pareto"]
+    raw_rows = [
+        [result.point.name, f"{result.point.sa_rows}x{result.point.sa_cols}",
+         result.point.buffer_kb, result.point.num_nodes,
+         result.gflops, result.efficiency, result.gflops_per_mm2,
+         result.gflops_per_watt, result.seconds, id(result) in front]
+        for result in results
+    ]
+    def format_cells(rows, stringify=False):
+        return [[f"{cell:.6g}" if isinstance(cell, float) else (str(cell) if stringify else cell)
+                 for cell in row] for row in rows]
+
+    if args.format == "json":
+        records = [dict(zip(headers, row)) for row in raw_rows]
+        text = json.dumps(records, indent=2)
+    elif args.format == "csv":
+        text = render_csv(headers, format_cells(raw_rows))
+    else:
+        shown = raw_rows if args.top <= 0 else raw_rows[:args.top]
+        text = render_table(
+            headers, format_cells(shown, stringify=True),
+            title=f"Design-space exploration - {len(results)} points by {args.objective}",
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(results)} results to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -128,25 +194,67 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable predictive address translation")
     gemm.set_defaults(handler=_cmd_gemm)
 
+    # The figure sweeps are small and fixed, so they stay serial (and warm
+    # the process-wide cache) unless --jobs asks for a pool; explore campaigns
+    # are open-ended and default to all CPU cores.
+    fig_jobs_help = "worker processes for the sweep (default: serial)"
+
     fig6 = subparsers.add_parser("fig6", help="regenerate the Fig. 6 sweep")
+    fig6.add_argument("--jobs", type=int, default=None, help=fig_jobs_help)
     fig6.set_defaults(handler=_cmd_fig6)
 
     fig7 = subparsers.add_parser("fig7", help="regenerate the Fig. 7 sweep")
+    fig7.add_argument("--jobs", type=int, default=None, help=fig_jobs_help)
     fig7.set_defaults(handler=_cmd_fig7)
 
     fig8 = subparsers.add_parser("fig8", help="regenerate the Fig. 8 comparison")
     fig8.add_argument("--nodes", type=int, default=8)
+    fig8.add_argument("--jobs", type=int, default=None, help=fig_jobs_help)
     fig8.set_defaults(handler=_cmd_fig8)
 
     table4 = subparsers.add_parser("table4", help="regenerate the Table IV comparison")
     table4.set_defaults(handler=_cmd_table4)
+
+    explore = subparsers.add_parser(
+        "explore", help="design-space exploration over architectural knobs")
+    explore.add_argument("--sample", default="grid", choices=["grid", "random", "lhs"],
+                         help="design-point generator (grid, uniform random, Latin hypercube)")
+    explore.add_argument("--points", type=int, default=64,
+                         help="sample size for --sample random/lhs")
+    explore.add_argument("--seed", type=int, default=0, help="sampling seed")
+    explore.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: all CPU cores)")
+    explore.add_argument("--objective", default="gflops",
+                         choices=["gflops", "efficiency", "gflops_per_mm2", "gflops_per_watt"],
+                         help="ranking objective")
+    explore.add_argument("--workload", default="square", choices=["square", "hpl"],
+                         help="evaluation workload: one square GEMM or an HPL-style ladder")
+    explore.add_argument("--size", type=int, default=2048, help="matrix size for the workload")
+    explore.add_argument("--precision", default="fp64", choices=["fp64", "fp32", "fp16"])
+    explore.add_argument("--top", type=int, default=10,
+                         help="rows shown in table output (<= 0 for all)")
+    explore.add_argument("--format", default="table", choices=["table", "csv", "json"])
+    explore.add_argument("--output", default=None,
+                         help="write the rendered output to this file instead of stdout")
+    explore.set_defaults(handler=_cmd_explore)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error
+        # worth reporting (matches conventional CLI behaviour).
+        return 0
+    except (ValueError, OSError) as error:
+        # Domain validation (node counts, sample sizes, buffer capacities, ...)
+        # raises ValueError; --output can hit unwritable paths.  Report both
+        # like an argparse error instead of a traceback.
+        print(f"{parser.prog} {args.command}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -35,14 +35,19 @@ from repro.core.metrics import (
     average_efficiency,
 )
 from repro.core.perf import (
+    DEFAULT_TIMING_CACHE,
     EfficiencyPoint,
+    TimingCache,
+    config_fingerprint,
     estimate_node_gemm,
+    estimate_node_gemm_cached,
     memory_environment,
     node_peak_gflops,
     sweep_prediction,
     sweep_scalability,
 )
 from repro.core.runtime import MACORuntime, AsyncHandle
+from repro.core.batch import SweepRunner
 from repro.core.explorer import (
     DesignPoint,
     DesignSpaceExplorer,
@@ -75,8 +80,13 @@ __all__ = [
     "speedup",
     "geometric_mean",
     "average_efficiency",
+    "DEFAULT_TIMING_CACHE",
     "EfficiencyPoint",
+    "SweepRunner",
+    "TimingCache",
+    "config_fingerprint",
     "estimate_node_gemm",
+    "estimate_node_gemm_cached",
     "memory_environment",
     "node_peak_gflops",
     "sweep_prediction",

@@ -12,16 +12,17 @@ throughput, efficiency, or performance per area/watt.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import MACOConfig, MMAEConfig, maco_default_config
 from repro.core.mapping import partition_gemm
-from repro.core.perf import estimate_node_gemm, memory_environment
+from repro.core.perf import TimingCache, estimate_node_gemm_cached, memory_environment
 from repro.gemm.precision import Precision
 from repro.gemm.tiling import TileConfig
 from repro.gemm.workloads import GEMMShape, GEMMWorkload
-from repro.mmae.buffers import BufferSet
+from repro.mmae.buffers import BufferAllocationError, BufferSet
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,23 @@ class DesignPoint:
             b_capacity=mmae.b_buffer_bytes,
             c_capacity=mmae.c_buffer_bytes,
         )
-        tile_dim = max(8, buffers.max_tile_dim(Precision.FP64, double_buffered=True))
+        fitted = buffers.max_tile_dim(Precision.FP64, double_buffered=True)
+        # Prefer at least the systolic-array-friendly 8x8 block, but never a
+        # tile the scratchpads cannot actually hold: validate the clamped tile
+        # and shrink back to the fitted dimension rather than silently
+        # modelling an impossible schedule.
+        tile_dim = max(8, fitted)
+        try:
+            buffers.check_tile_fits(tile_dim, tile_dim, tile_dim, Precision.FP64, double_buffered=True)
+        except BufferAllocationError:
+            tile_dim = fitted
+            try:
+                buffers.check_tile_fits(tile_dim, tile_dim, tile_dim, Precision.FP64, double_buffered=True)
+            except BufferAllocationError as exc:
+                raise ValueError(
+                    f"design point {self.name!r}: buffer_kb={self.buffer_kb} cannot hold "
+                    f"even a {tile_dim}x{tile_dim} double-buffered FP64 tile"
+                ) from exc
         level2 = TileConfig(tile_dim, tile_dim)
         level1 = TileConfig(max(base.level1_tile.rows, tile_dim), max(base.level1_tile.cols, tile_dim))
         return replace(
@@ -134,14 +151,112 @@ class DesignSpaceExplorer:
             )
         return points
 
+    @staticmethod
+    def random_sample(
+        count: int,
+        sa_dims: Sequence[int] = (2, 4, 8, 16),
+        buffer_kbs: Sequence[int] = (16, 32, 64, 128, 256),
+        node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+        prediction: Sequence[bool] = (True,),
+        seed: Optional[int] = None,
+    ) -> List[DesignPoint]:
+        """``count`` design points sampled uniformly at random from the knobs.
+
+        A full-factorial grid over realistic knob ranges has thousands of
+        cells; uniform sampling makes such spaces tractable while remaining
+        unbiased.  Deterministic for a given ``seed``.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        rng = random.Random(seed)
+        points = []
+        for index in range(count):
+            dim = rng.choice(list(sa_dims))
+            buffer_kb = rng.choice(list(buffer_kbs))
+            nodes = rng.choice(list(node_counts))
+            pred = rng.choice(list(prediction))
+            points.append(
+                DesignPoint(
+                    name=f"rnd{index:04d}-sa{dim}x{dim}-buf{buffer_kb}k-n{nodes}"
+                         f"{'' if pred else '-nopred'}",
+                    sa_rows=dim, sa_cols=dim, buffer_kb=buffer_kb, num_nodes=nodes,
+                    prediction_enabled=pred,
+                )
+            )
+        return points
+
+    @staticmethod
+    def latin_hypercube(
+        count: int,
+        sa_dims: Sequence[int] = (2, 4, 8, 16),
+        buffer_kbs: Sequence[int] = (16, 32, 64, 128, 256),
+        node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+        prediction: Sequence[bool] = (True,),
+        seed: Optional[int] = None,
+    ) -> List[DesignPoint]:
+        """``count`` design points by Latin-hypercube sampling over the knobs.
+
+        Each knob's range is split into ``count`` strata and every stratum is
+        used exactly once (via an independent shuffle per knob), so the sample
+        covers each dimension far more evenly than uniform sampling at the
+        same budget.  Deterministic for a given ``seed``.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        rng = random.Random(seed)
+        columns = []
+        for choices in (list(sa_dims), list(buffer_kbs), list(node_counts), list(prediction)):
+            strata = [(stratum + rng.random()) / count for stratum in range(count)]
+            rng.shuffle(strata)
+            columns.append(
+                [choices[min(int(u * len(choices)), len(choices) - 1)] for u in strata]
+            )
+        points = []
+        for index, (dim, buffer_kb, nodes, pred) in enumerate(zip(*columns)):
+            points.append(
+                DesignPoint(
+                    name=f"lhs{index:04d}-sa{dim}x{dim}-buf{buffer_kb}k-n{nodes}"
+                         f"{'' if pred else '-nopred'}",
+                    sa_rows=dim, sa_cols=dim, buffer_kb=buffer_kb, num_nodes=nodes,
+                    prediction_enabled=pred,
+                )
+            )
+        return points
+
+    @classmethod
+    def sample(
+        cls,
+        method: str,
+        count: int = 32,
+        seed: Optional[int] = None,
+        **knobs,
+    ) -> List[DesignPoint]:
+        """Dispatch to a sampling generator by name (``grid``/``random``/``lhs``).
+
+        ``count`` and ``seed`` parameterise the random and Latin-hypercube
+        samplers; the full-factorial ``grid`` ignores both (its size is the
+        product of the knob domains).
+        """
+        if method == "grid":
+            return cls.grid(**knobs)
+        if method == "random":
+            return cls.random_sample(count, seed=seed, **knobs)
+        if method in ("lhs", "latin-hypercube"):
+            return cls.latin_hypercube(count, seed=seed, **knobs)
+        raise ValueError(f"unknown sampling method {method!r}; options: grid, random, lhs")
+
     # ---------------------------------------------------------------- evaluation
-    def evaluate(self, point: DesignPoint, workload: GEMMWorkload | GEMMShape) -> EvaluationResult:
+    def evaluate(
+        self,
+        point: DesignPoint,
+        workload: GEMMWorkload | GEMMShape,
+        cache: Optional[TimingCache] = None,
+    ) -> EvaluationResult:
         """Evaluate one design point on a workload (or a single GEMM shape)."""
         config = point.to_config(self.base_config)
         shapes = [workload] if isinstance(workload, GEMMShape) else list(workload)
         if not shapes:
             raise ValueError("workload has no GEMMs to evaluate")
-        precision = shapes[0].precision
         env = memory_environment(config, config.num_nodes)
 
         total_seconds = 0.0
@@ -149,14 +264,30 @@ class DesignSpaceExplorer:
         for shape in shapes:
             plan = partition_gemm(shape, config.num_nodes)
             layer_seconds = max(
-                estimate_node_gemm(config, assignment.shape, active_nodes=config.num_nodes, env=env).seconds
+                estimate_node_gemm_cached(
+                    config, assignment.shape, active_nodes=config.num_nodes, env=env, cache=cache,
+                ).seconds
                 for assignment in plan.assignments
             )
             total_seconds += layer_seconds
             total_flops += shape.flops
 
         gflops = total_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
-        peak = config.peak_gflops(precision)
+        precisions = {shape.precision for shape in shapes}
+        if len(precisions) == 1:
+            peak = config.peak_gflops(shapes[0].precision)
+            efficiency = gflops / peak if peak else 0.0
+        else:
+            # Mixed-precision workload: a single peak misreports efficiency
+            # (FP16 layers can exceed the FP64 peak).  Accumulate the ideal
+            # time of each shape at its own precision's peak instead; for a
+            # uniform workload this reduces to gflops / peak.
+            ideal_seconds = sum(
+                shape.flops / (config.peak_gflops(shape.precision) * 1e9)
+                for shape in shapes
+                if config.peak_gflops(shape.precision) > 0
+            )
+            efficiency = ideal_seconds / total_seconds if total_seconds > 0 else 0.0
         node_area = config.cpu.area_mm2 + config.mmae.area_mm2
         node_power = config.cpu.power_w + config.mmae.power_w
         return EvaluationResult(
@@ -164,7 +295,7 @@ class DesignSpaceExplorer:
             config=config,
             seconds=total_seconds,
             gflops=gflops,
-            efficiency=gflops / peak if peak else 0.0,
+            efficiency=efficiency,
             node_area_mm2=node_area,
             node_power_w=node_power,
         )
@@ -174,10 +305,22 @@ class DesignSpaceExplorer:
         points: Iterable[DesignPoint],
         workload: GEMMWorkload | GEMMShape,
         objective: Callable[[EvaluationResult], float] | str = "gflops",
+        jobs: Optional[int] = None,
+        runner: Optional[object] = None,
     ) -> List[EvaluationResult]:
-        """Evaluate every point and return the results sorted best-first."""
+        """Evaluate every point and return the results sorted best-first.
+
+        Evaluations run through a :class:`repro.core.batch.SweepRunner`:
+        serial (with the shared timing cache) by default, fanned out over
+        ``jobs`` worker processes when requested.  Both paths produce
+        bit-identical results.
+        """
         key = self._objective(objective)
-        results = [self.evaluate(point, workload) for point in points]
+        from repro.core.batch import SweepRunner
+
+        if runner is None:
+            runner = SweepRunner(jobs=jobs if jobs is not None else 1)
+        results = runner.evaluate_points(points, workload, base_config=self.base_config)
         return sorted(results, key=key, reverse=True)
 
     def best(
@@ -185,9 +328,11 @@ class DesignSpaceExplorer:
         points: Iterable[DesignPoint],
         workload: GEMMWorkload | GEMMShape,
         objective: Callable[[EvaluationResult], float] | str = "gflops",
+        jobs: Optional[int] = None,
+        runner: Optional[object] = None,
     ) -> EvaluationResult:
         """The best design point under the chosen objective."""
-        ranked = self.explore(points, workload, objective)
+        ranked = self.explore(points, workload, objective, jobs=jobs, runner=runner)
         return ranked[0]
 
     @staticmethod
@@ -212,20 +357,45 @@ def pareto_front(
         lambda r: r.gflops_per_watt,
     ),
 ) -> List[EvaluationResult]:
-    """The subset of results not dominated on all of the given metrics."""
+    """The subset of results not dominated on all of the given metrics.
+
+    A result is dominated when another scores at least as well on every
+    metric and strictly better on at least one; ties (identical score
+    vectors) do not dominate each other.  Results are returned in input
+    order.  The common two-metric case runs as an O(n log n) sort-based
+    skyline scan; other metric counts fall back to pairwise checks.
+    """
+    results = list(results)
+    scores = [tuple(metric(result) for metric in metrics) for result in results]
+
+    if len(metrics) == 2:
+        # Sort by (x desc, y desc); scanning in that order, a point is on the
+        # front iff its y exceeds the best y seen so far, or it exactly ties
+        # the score vector that last raised the best y (a duplicate, which by
+        # definition is not strictly dominated).
+        order = sorted(range(len(results)), key=lambda i: scores[i], reverse=True)
+        keep: List[int] = []
+        best: Optional[tuple] = None
+        for index in order:
+            x, y = scores[index]
+            if best is None or y > best[1]:
+                keep.append(index)
+                best = (x, y)
+            elif y == best[1] and x == best[0]:
+                keep.append(index)
+        return [results[index] for index in sorted(keep)]
+
     front = []
-    for candidate in results:
-        candidate_scores = [metric(candidate) for metric in metrics]
+    for index, candidate_scores in enumerate(scores):
         dominated = False
-        for other in results:
-            if other is candidate:
+        for other_index, other_scores in enumerate(scores):
+            if other_index == index:
                 continue
-            other_scores = [metric(other) for metric in metrics]
             if all(o >= c for o, c in zip(other_scores, candidate_scores)) and any(
                 o > c for o, c in zip(other_scores, candidate_scores)
             ):
                 dominated = True
                 break
         if not dominated:
-            front.append(candidate)
+            front.append(results[index])
     return front

@@ -21,7 +21,12 @@ from repro.core.compute_node import ComputeNode
 from repro.core.config import MACOConfig, maco_default_config
 from repro.core.mapping import partition_gemm, schedule_gemm_plus
 from repro.core.metrics import NodeResult, SystemResult, WorkloadResult
-from repro.core.perf import estimate_node_gemm, memory_environment, node_peak_gflops
+from repro.core.perf import (
+    estimate_node_gemm,
+    estimate_node_gemm_cached,
+    memory_environment,
+    node_peak_gflops,
+)
 from repro.gemm.precision import Precision
 from repro.gemm.workloads import GEMMShape, GEMMWorkload
 from repro.mem.dram import DRAMModel
@@ -164,13 +169,17 @@ class MACOSystem:
             # re-read traffic spills to DRAM.
             env = replace(env, l3_share_bytes=max(env.l3_share_bytes * 0.125, 64 * 1024))
 
+        # The per-layer timings run through the memoized timing cache: a column
+        # partition yields at most two distinct sub-shapes per layer, and DL
+        # workloads repeat the same layer shapes many times (e.g. one GEMM set
+        # per BERT encoder block), so most estimates are cache hits.
+        plans = [partition_gemm(shape, nodes) for shape in workload]
         mmae_seconds = 0.0
         gemm_flops = 0
-        for shape in workload:
-            plan = partition_gemm(shape, nodes)
+        for shape, plan in zip(workload, plans):
             layer_seconds = 0.0
             for assignment in plan.assignments:
-                timing = estimate_node_gemm(
+                timing = estimate_node_gemm_cached(
                     self.config, assignment.shape, active_nodes=nodes,
                     prediction_enabled=prediction_enabled, env=env,
                 )
@@ -189,7 +198,7 @@ class MACOSystem:
 
         # Stash traffic: the shared A panels plus each node's B/C columns are
         # prefetched from DRAM once per layer.
-        stash_bytes = sum(partition_gemm(shape, nodes).stash_bytes for shape in workload)
+        stash_bytes = sum(plan.stash_bytes for plan in plans)
         stash_seconds = stash_bytes / self.dram.effective_bandwidth(nodes)
 
         schedule = schedule_gemm_plus(

@@ -10,8 +10,11 @@ the system configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import hashlib
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from repro.core.config import MACOConfig
 from repro.gemm.precision import Precision
@@ -75,6 +78,113 @@ def estimate_node_gemm(
     )
 
 
+@lru_cache(maxsize=1024)
+def config_fingerprint(config: MACOConfig) -> str:
+    """Stable fingerprint of a configuration, used to key the timing cache.
+
+    ``MACOConfig`` and its nested configs are frozen dataclasses, so their
+    ``repr`` enumerates every field deterministically; hashing it gives a
+    compact key that changes whenever any architectural knob changes.
+    """
+    return hashlib.sha1(repr(config).encode()).hexdigest()
+
+
+class TimingCache:
+    """Memoises :func:`estimate_node_gemm` results across sweeps and workloads.
+
+    The cycle-approximate timing of a GEMM is a pure function of
+    ``(configuration, shape, active_nodes, prediction, memory environment)``;
+    sweeps and DL workloads evaluate the same shapes over and over (every
+    column partition repeats at most two distinct sub-shapes per layer, BERT
+    repeats the same four GEMMs per encoder block, figure regenerations rerun
+    whole sweeps), so memoising the breakdown skips re-walking the tile
+    schedule.  Entries are evicted FIFO past ``max_entries``.  Hits return
+    the stored instance directly; that is safe because
+    :class:`~repro.mmae.dataflow.GEMMTimingBreakdown` is frozen.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[Tuple, GEMMTimingBreakdown]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(
+        config: MACOConfig,
+        shape: GEMMShape,
+        active_nodes: int,
+        prediction_enabled: bool,
+        env: Optional[MemoryEnvironment],
+    ) -> Tuple:
+        env_key = None if env is None else astuple(env)
+        return (config_fingerprint(config), shape, active_nodes, prediction_enabled, env_key)
+
+    def estimate(
+        self,
+        config: MACOConfig,
+        shape: GEMMShape,
+        active_nodes: int = 1,
+        prediction_enabled: Optional[bool] = None,
+        env: Optional[MemoryEnvironment] = None,
+    ) -> GEMMTimingBreakdown:
+        """Cached :func:`estimate_node_gemm` (bit-identical to the direct call)."""
+        if prediction_enabled is None:
+            prediction_enabled = config.prediction_enabled
+        key = self._key(config, shape, active_nodes, prediction_enabled, env)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = estimate_node_gemm(
+            config, shape, active_nodes=active_nodes,
+            prediction_enabled=prediction_enabled, env=env,
+        )
+        if len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)
+        self._store[key] = result
+        return result
+
+
+#: Process-wide default cache shared by the system model, the baselines and the
+#: sweeps.  :class:`repro.core.batch.SweepRunner` seeds its pool workers with a
+#: snapshot of the runner's cache, so warm entries carry into parallel sweeps
+#: (entries computed inside workers die with the pool).
+DEFAULT_TIMING_CACHE = TimingCache()
+
+
+def estimate_node_gemm_cached(
+    config: MACOConfig,
+    shape: GEMMShape,
+    active_nodes: int = 1,
+    prediction_enabled: Optional[bool] = None,
+    env: Optional[MemoryEnvironment] = None,
+    cache: Optional[TimingCache] = None,
+) -> GEMMTimingBreakdown:
+    """:func:`estimate_node_gemm` through a memoizing cache (default: process-wide)."""
+    cache = DEFAULT_TIMING_CACHE if cache is None else cache
+    return cache.estimate(
+        config, shape, active_nodes=active_nodes,
+        prediction_enabled=prediction_enabled, env=env,
+    )
+
+
 def node_peak_gflops(config: MACOConfig, precision: Precision) -> float:
     """Theoretical peak of a single MMAE for a precision."""
     return {
@@ -100,24 +210,20 @@ def sweep_prediction(
     config: MACOConfig,
     sizes: List[int],
     precision: Precision = Precision.FP64,
+    jobs: Optional[int] = None,
+    runner: Optional["object"] = None,
 ) -> List[EfficiencyPoint]:
-    """The Fig. 6 sweep: single node, with and without predictive translation."""
-    points = []
-    for prediction in (False, True):
-        for size in sizes:
-            shape = GEMMShape(size, size, size, precision)
-            timing = estimate_node_gemm(config, shape, active_nodes=1, prediction_enabled=prediction)
-            points.append(
-                EfficiencyPoint(
-                    matrix_size=size,
-                    active_nodes=1,
-                    prediction_enabled=prediction,
-                    efficiency=timing.efficiency,
-                    gflops=timing.achieved_gflops,
-                    seconds=timing.seconds,
-                )
-            )
-    return points
+    """The Fig. 6 sweep: single node, with and without predictive translation.
+
+    ``jobs``/``runner`` fan the per-size evaluations out over a
+    :class:`repro.core.batch.SweepRunner`; the default stays serial (with the
+    process-wide timing cache) and is bit-identical to the parallel path.
+    """
+    from repro.core.batch import SweepRunner
+
+    if runner is None:
+        runner = SweepRunner(jobs=jobs if jobs is not None else 1)
+    return runner.sweep_prediction(config, sizes, precision=precision)
 
 
 def sweep_scalability(
@@ -125,24 +231,21 @@ def sweep_scalability(
     sizes: List[int],
     node_counts: List[int],
     precision: Precision = Precision.FP64,
+    jobs: Optional[int] = None,
+    runner: Optional["object"] = None,
 ) -> List[EfficiencyPoint]:
-    """The Fig. 7 sweep: independent GEMMs on 1..16 nodes, per-node efficiency."""
-    points = []
-    for nodes in node_counts:
-        for size in sizes:
-            shape = GEMMShape(size, size, size, precision)
-            timing = estimate_node_gemm(config, shape, active_nodes=nodes)
-            points.append(
-                EfficiencyPoint(
-                    matrix_size=size,
-                    active_nodes=nodes,
-                    prediction_enabled=config.prediction_enabled,
-                    efficiency=timing.efficiency,
-                    gflops=timing.achieved_gflops * nodes,
-                    seconds=timing.seconds,
-                )
-            )
-    return points
+    """The Fig. 7 sweep: independent GEMMs on 1..16 nodes, per-node efficiency.
+
+    Like :func:`sweep_prediction`, the sweep runs through a
+    :class:`repro.core.batch.SweepRunner` (serial unless ``jobs``/``runner``
+    says otherwise) so every ``(size, nodes)`` evaluation is cached and can be
+    fanned out over worker processes.
+    """
+    from repro.core.batch import SweepRunner
+
+    if runner is None:
+        runner = SweepRunner(jobs=jobs if jobs is not None else 1)
+    return runner.sweep_scalability(config, sizes, node_counts, precision=precision)
 
 
 def noc_contention_model(config: MACOConfig) -> NocContentionModel:

@@ -100,7 +100,7 @@ class TileSchedule:
         return self.shape.flops / self.dram_traffic_bytes if self.dram_traffic_bytes else float("inf")
 
 
-@dataclass
+@dataclass(frozen=True)
 class GEMMTimingBreakdown:
     """Where the cycles of one GEMM went."""
 

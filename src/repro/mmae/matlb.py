@@ -215,7 +215,7 @@ class TranslationTimingParameters:
     shared_tlb_entries: int = 1024
 
 
-@dataclass
+@dataclass(frozen=True)
 class TranslationStallEstimate:
     """Outcome of the closed-form model for one GEMM."""
 

@@ -49,3 +49,110 @@ class TestCommands:
         assert main(["fig7"]) == 0
         output = capsys.readouterr().out
         assert "16-core" in output
+
+    def test_fig7_builds_each_node_series_once(self, capsys, monkeypatch):
+        """Regression: efficiency_by_size must run once per node count, not
+        once per (node count, matrix size) cell."""
+        import repro.cli as cli_module
+
+        calls = []
+        original = cli_module.efficiency_by_size
+
+        def counting(points, **kwargs):
+            calls.append(kwargs)
+            return original(points, **kwargs)
+
+        monkeypatch.setattr(cli_module, "efficiency_by_size", counting)
+        assert cli_module.main(["fig7"]) == 0
+        capsys.readouterr()
+        assert len(calls) == 5  # the five node counts
+
+    def test_fig6_with_jobs(self, capsys):
+        assert main(["fig6", "--jobs", "2"]) == 0
+        assert "with prediction" in capsys.readouterr().out
+
+    def test_fig8_with_jobs_matches_serial(self, capsys):
+        assert main(["fig8", "--nodes", "4", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig8", "--nodes", "4", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "maco" in serial
+
+
+class TestExploreCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.sample == "grid"
+        assert args.objective == "gflops"
+        assert args.format == "table"
+        assert args.jobs is None
+
+    def test_table_output(self, capsys):
+        assert main(["explore", "--sample", "random", "--points", "4",
+                     "--jobs", "1", "--size", "1024"]) == 0
+        output = capsys.readouterr().out
+        assert "design point" in output
+        assert "pareto" in output
+
+    def test_csv_output(self, capsys):
+        assert main(["explore", "--sample", "lhs", "--points", "4", "--jobs", "1",
+                     "--size", "1024", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("design point,sa,buffer_kb,nodes,gflops")
+        assert len(lines) == 5  # header + 4 sampled points
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["explore", "--sample", "random", "--points", "3", "--jobs", "1",
+                     "--size", "1024", "--format", "json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 3
+        assert {"design point", "gflops", "efficiency", "pareto"} <= set(records[0])
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "results.csv"
+        assert main(["explore", "--sample", "random", "--points", "3", "--jobs", "1",
+                     "--size", "1024", "--format", "csv", "--output", str(target)]) == 0
+        assert "wrote 3 results" in capsys.readouterr().out
+        assert target.read_text().startswith("design point,")
+
+    def test_objective_ranking(self, capsys):
+        assert main(["explore", "--sample", "random", "--points", "6", "--jobs", "1",
+                     "--size", "1024", "--objective", "gflops_per_watt",
+                     "--format", "json"]) == 0
+        import json
+
+        records = json.loads(capsys.readouterr().out)
+        ratios = [record["gflops_per_watt"] for record in records]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_parallel_explore_matches_serial(self, capsys):
+        argv = ["explore", "--sample", "lhs", "--points", "6", "--size", "1024",
+                "--format", "csv"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "3"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_hpl_workload(self, capsys):
+        assert main(["explore", "--sample", "random", "--points", "3", "--jobs", "1",
+                     "--workload", "hpl", "--size", "1024"]) == 0
+        assert "design point" in capsys.readouterr().out
+
+    def test_hpl_workload_respects_precision(self, capsys):
+        argv = ["explore", "--sample", "random", "--points", "3", "--jobs", "1",
+                "--workload", "hpl", "--size", "1024", "--format", "csv"]
+        assert main(argv + ["--precision", "fp64"]) == 0
+        fp64 = capsys.readouterr().out
+        assert main(argv + ["--precision", "fp32"]) == 0
+        fp32 = capsys.readouterr().out
+        assert fp32 != fp64  # the precision flag must reach the workload
+
+    def test_invalid_domain_input_exits_cleanly(self, capsys):
+        assert main(["explore", "--jobs", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "error: jobs must be >= 1" in captured.err
+        assert main(["explore", "--sample", "random", "--points", "0"]) == 2
+        assert "error: count must be positive" in capsys.readouterr().err

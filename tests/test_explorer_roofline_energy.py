@@ -99,6 +99,72 @@ class TestExploration:
         assert best_gflops in front
 
 
+class TestExplorerRegressions:
+    """Regression tests for the sweep-path correctness fixes."""
+
+    def test_mixed_precision_efficiency_order_invariant(self):
+        """Efficiency must not depend on which precision happens to come first."""
+        explorer = DesignSpaceExplorer()
+        point = DesignPoint(name="paper", num_nodes=4)
+        shapes = [
+            GEMMShape(2048, 2048, 2048, Precision.FP64),
+            GEMMShape(2048, 2048, 2048, Precision.FP16),
+        ]
+        forward = explorer.evaluate(point, GEMMWorkload("mixed", shapes))
+        reverse = explorer.evaluate(point, GEMMWorkload("mixed-rev", list(reversed(shapes))))
+        assert forward.efficiency == pytest.approx(reverse.efficiency)
+
+    def test_mixed_precision_efficiency_uses_per_shape_peaks(self):
+        explorer = DesignSpaceExplorer()
+        point = DesignPoint(name="paper", num_nodes=4)
+        shapes = [
+            GEMMShape(2048, 2048, 2048, Precision.FP64),
+            GEMMShape(2048, 2048, 2048, Precision.FP16),
+        ]
+        result = explorer.evaluate(point, GEMMWorkload("mixed", shapes))
+        config = result.config
+        ideal_seconds = sum(
+            shape.flops / (config.peak_gflops(shape.precision) * 1e9) for shape in shapes
+        )
+        assert result.efficiency == pytest.approx(ideal_seconds / result.seconds)
+        assert 0 < result.efficiency <= 1.0
+
+    def test_uniform_precision_efficiency_unchanged(self):
+        """The uniform-precision path keeps the seed's gflops/peak definition."""
+        explorer = DesignSpaceExplorer()
+        point = DesignPoint(name="paper", num_nodes=4)
+        shape = GEMMShape(2048, 2048, 2048, Precision.FP64)
+        result = explorer.evaluate(point, shape)
+        assert result.efficiency == pytest.approx(
+            result.gflops / result.config.peak_gflops(Precision.FP64))
+
+    def test_tiny_buffer_tile_shrinks_to_what_fits(self):
+        """A sub-1KB scratchpad cannot hold the 8x8 floor tile; the derived
+        tile must shrink to the largest fitting dimension instead of silently
+        modelling an impossible schedule."""
+        from repro.mmae.buffers import BufferSet
+
+        config = DesignPoint(name="tiny", buffer_kb=0.5).to_config()
+        tile = config.level2_tile
+        assert tile.rows < 8
+        buffers = BufferSet(
+            a_capacity=config.mmae.a_buffer_bytes,
+            b_capacity=config.mmae.b_buffer_bytes,
+            c_capacity=config.mmae.c_buffer_bytes,
+        )
+        # Must not raise: the tile genuinely fits the scratchpads.
+        buffers.check_tile_fits(tile.rows, tile.cols, tile.rows,
+                                Precision.FP64, double_buffered=True)
+
+    def test_impossible_buffer_raises_clear_error(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            DesignPoint(name="impossible", buffer_kb=0.01).to_config()
+
+    def test_default_tile_derivation_unchanged(self):
+        config = DesignPoint(name="paper").to_config()
+        assert config.level2_tile.rows == 64  # 64 KB FP64 double-buffered tile
+
+
 class TestRoofline:
     def test_ridge_point(self):
         roofline = Roofline(peak_gflops=80.0, bandwidth_gbytes_per_s=20.0)
