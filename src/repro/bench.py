@@ -1,0 +1,331 @@
+"""Benchmark harness for the functional fast path (``repro.cli bench``).
+
+The functional execution path — page prediction, mATLB/MMU translation and the
+wavefront emulator — ships with both a scalar reference implementation and a
+vectorized fast path that must be bit-identical to it.  This module times the
+two against each other on a BERT-sized layer and writes the measurements to
+``BENCH_functional.json``, establishing the repo's performance trajectory:
+
+* ``page_enumeration`` — :meth:`PageTablePredictor.tile_page_vaddrs` (template
+  memo + ``arange``/``unique`` arithmetic) vs the scalar per-row walk;
+* ``tile_translation`` — :meth:`AcceleratorDataEngine.translate_tile_batch`
+  (enumeration + batched prewalk + batched lookup/demand) vs the scalar
+  per-page loop, with and without predictive translation;
+* ``emulator`` — :class:`VectorizedSystolicArrayEmulator` vs the per-PE
+  scalar emulator;
+* ``functional_gemm`` — end-to-end functional GEMM throughput through the
+  controller (batch path), recorded for trend tracking.
+
+Every comparative benchmark re-verifies scalar/vector parity on the timed runs
+(identical stats and outputs) and reports it in the JSON, so a bench report
+doubles as a correctness witness.  ``check_regression`` compares a fresh
+report against a committed baseline and flags speedups that regressed by more
+than the allowed factor; CI runs it via ``repro.cli bench --baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cpu.mmu import MMU
+from repro.cpu.process import ProcessManager
+from repro.gemm.precision import Precision
+from repro.isa.instructions import GEMMDescriptor
+from repro.mem.hostmem import HostMemory
+from repro.mmae.controller import AcceleratorController
+from repro.mmae.data_engine import AcceleratorDataEngine
+from repro.mmae.matlb import MATLB, MatrixLayout, PageTablePredictor
+from repro.mmae.systolic_array import SystolicArrayEmulator, VectorizedSystolicArrayEmulator
+
+#: Report schema version written to BENCH_functional.json.
+SCHEMA_VERSION = 1
+
+#: BERT-large-shaped layer used for the translation benchmarks: a batch of
+#: 8 x 384 tokens against the hidden dimension (A operand of the first MLP
+#: GEMM), FP32.  One matrix row is exactly one 4 KB page, the Fig. 4 regime
+#: the mATLB targets.
+BERT_TOKENS = 3072
+BERT_HIDDEN = 1024
+BERT_ELEMENT_BYTES = 4
+
+
+def _best_of(repeat: int, fn: Callable[[], float]) -> float:
+    """Run ``fn`` (which returns elapsed seconds) ``repeat`` times; keep the best."""
+    return min(fn() for _ in range(max(1, repeat)))
+
+
+def _bert_layout_and_tiles(quick: bool) -> Tuple[ProcessManager, int, MatrixLayout, List[Tuple[int, int, int, int]]]:
+    """The A-operand layout and the controller-ordered tile stream for one layer.
+
+    The stream mirrors ``_compute_gemm_functional``: level-2 tiles iterate
+    (row, col, k) with k innermost, so the A tile of a fixed (row, k) pair is
+    re-requested for every column block — the reuse pattern the mATLB's
+    steady state serves.
+    """
+    manager = ProcessManager()
+    process = manager.create_process("bench")
+    base = process.address_space.allocate_region(
+        "A", BERT_TOKENS * BERT_HIDDEN * BERT_ELEMENT_BYTES
+    )
+    layout = MatrixLayout(base, BERT_TOKENS, BERT_HIDDEN, BERT_HIDDEN, BERT_ELEMENT_BYTES)
+    row_extent = 256 if quick else 1024
+    tiles = [
+        (row, 64, k, 64)
+        for row in range(0, row_extent, 64)
+        for _col in range(0, 1024, 64)
+        for k in range(0, 1024, 64)
+    ]
+    return manager, process.asid, layout, tiles
+
+
+def _fresh_translation_stack(manager: ProcessManager) -> Tuple[MMU, AcceleratorDataEngine]:
+    mmu = MMU()
+    mmu.register_page_table(manager.current.address_space.page_table)
+    return mmu, AcceleratorDataEngine(matlb=MATLB(entries=64))
+
+
+def _translation_state(mmu: MMU, ade: AcceleratorDataEngine):
+    matlb = ade.matlb
+    return (
+        vars(matlb.stats).copy(),
+        list(matlb._entries.items()),
+        vars(mmu.stats).copy(),
+        vars(mmu.dtlb.l1.stats).copy(),
+        vars(mmu.dtlb.l2.stats).copy(),
+        list(mmu.dtlb.l1._entries.items()),
+        list(mmu.dtlb.l2._entries.items()),
+        mmu.walker.walks_performed,
+        mmu.walker.total_walk_cycles,
+        ade.translation_stall_cycles,
+        ade.demand_translations,
+    )
+
+
+def bench_page_enumeration(quick: bool, repeat: int) -> Dict[str, object]:
+    """Scalar vs vectorized page enumeration over the BERT tile stream."""
+    _, _, layout, tiles = _bert_layout_and_tiles(quick)
+
+    def scalar_run() -> float:
+        predictor = PageTablePredictor()
+        start = time.perf_counter()
+        for row, rows, col, cols in tiles:
+            predictor.tile_page_addresses_scalar(layout, row, rows, col, cols)
+        return time.perf_counter() - start
+
+    def vector_run() -> float:
+        predictor = PageTablePredictor()
+        start = time.perf_counter()
+        for row, rows, col, cols in tiles:
+            predictor.tile_page_vaddrs(layout, row, rows, col, cols)
+        return time.perf_counter() - start
+
+    reference = PageTablePredictor()
+    vectorized = PageTablePredictor()
+    parity = all(
+        reference.tile_page_addresses_scalar(layout, row, rows, col, cols)
+        == vectorized.tile_page_vaddrs(layout, row, rows, col, cols).tolist()
+        for row, rows, col, cols in tiles[:: max(1, len(tiles) // 64)]
+    )
+    scalar_s = _best_of(repeat, scalar_run)
+    vector_s = _best_of(repeat, vector_run)
+    return {
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "calls": len(tiles),
+        "parity": parity,
+    }
+
+
+def bench_tile_translation(quick: bool, repeat: int, prediction: bool) -> Dict[str, object]:
+    """Scalar vs batched tile translation (enumeration + prewalk + lookup/demand)."""
+    manager, asid, layout, tiles = _bert_layout_and_tiles(quick)
+
+    def run(batched: bool) -> Tuple[float, MMU, AcceleratorDataEngine]:
+        mmu, ade = _fresh_translation_stack(manager)
+        translate = ade.translate_tile_batch if batched else ade.translate_tile
+        start = time.perf_counter()
+        for row, rows, k, depth in tiles:
+            translate(mmu, asid, layout, (row, rows), (k, depth), prediction)
+        return time.perf_counter() - start, mmu, ade
+
+    scalar_s, scalar_mmu, scalar_ade = run(batched=False)
+    vector_s, vector_mmu, vector_ade = run(batched=True)
+    parity = _translation_state(scalar_mmu, scalar_ade) == _translation_state(vector_mmu, vector_ade)
+    scalar_s = min(scalar_s, _best_of(repeat - 1, lambda: run(batched=False)[0])) if repeat > 1 else scalar_s
+    vector_s = min(vector_s, _best_of(repeat - 1, lambda: run(batched=True)[0])) if repeat > 1 else vector_s
+    return {
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "calls": len(tiles),
+        "prediction": prediction,
+        "parity": parity,
+    }
+
+
+def bench_emulator(quick: bool, repeat: int) -> Dict[str, object]:
+    """Scalar vs vectorized wavefront emulation of one stationary block."""
+    rows = cols = 4
+    tr = 192 if quick else 512
+    rng = np.random.default_rng(2024)
+    a_block = rng.standard_normal((tr, rows))
+    b_block = rng.standard_normal((rows, cols))
+
+    scalar = SystolicArrayEmulator(rows=rows, cols=cols)
+    vectorized = VectorizedSystolicArrayEmulator(rows=rows, cols=cols)
+    scalar_result = scalar.run_block(a_block, b_block)
+    vector_result = vectorized.run_block(a_block, b_block)
+    parity = (
+        np.array_equal(scalar_result.output, vector_result.output)
+        and scalar_result.cycles == vector_result.cycles
+        and scalar_result.macs == vector_result.macs
+    )
+
+    def scalar_run() -> float:
+        start = time.perf_counter()
+        scalar.run_block(a_block, b_block)
+        return time.perf_counter() - start
+
+    def vector_run() -> float:
+        start = time.perf_counter()
+        vectorized.run_block(a_block, b_block)
+        return time.perf_counter() - start
+
+    scalar_s = _best_of(repeat, scalar_run)
+    vector_s = _best_of(repeat, vector_run)
+    return {
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "geometry": f"{rows}x{cols}",
+        "tr": tr,
+        "parity": parity,
+    }
+
+
+def bench_functional_gemm(quick: bool, repeat: int) -> Dict[str, object]:
+    """End-to-end functional GEMM throughput through the controller (batch path)."""
+    size = 256 if quick else 512
+    precision = Precision.FP32
+    rng = np.random.default_rng(7)
+    memory = HostMemory()
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    b = rng.standard_normal((size, size)).astype(np.float32)
+    c = np.zeros((size, size), dtype=np.float32)
+    addr_a, addr_b, addr_c = 0x10_0000, 0x80_0000, 0xF0_0000
+    for addr, matrix in ((addr_a, a), (addr_b, b), (addr_c, c)):
+        memory.register_matrix(addr, matrix)
+    manager = ProcessManager()
+    process = manager.create_process("bench-gemm")
+    for addr, matrix in ((addr_a, a), (addr_b, b), (addr_c, c)):
+        process.address_space.allocate_region(f"m{addr:x}", matrix.nbytes)
+
+    descriptor = GEMMDescriptor(
+        addr_a=addr_a, addr_b=addr_b, addr_c=addr_c, m=size, n=size, k=size,
+        precision=precision, tile_rows=max(size, 64), tile_cols=max(size, 64),
+        ttr=min(64, size), ttc=min(64, size),
+    )
+
+    def run() -> float:
+        # Fresh MMU per repetition so best-of timings stay cold-state
+        # comparable, matching the fresh-stack policy of the other benches.
+        mmu = MMU()
+        mmu.register_page_table(process.address_space.page_table)
+        controller = AcceleratorController(host_memory=memory, mmu=mmu)
+        controller.stq.on_completion(lambda maid, exc: None)
+        controller.submit_gemm(0, process.asid, descriptor)
+        start = time.perf_counter()
+        results = controller.execute_pending()
+        elapsed = time.perf_counter() - start
+        assert results[0].functional and results[0].succeeded
+        return elapsed
+
+    seconds = _best_of(repeat, run)
+    flops = 2.0 * size ** 3
+    return {
+        "seconds": seconds,
+        "gflops": flops / seconds / 1e9,
+        "m": size,
+        "n": size,
+        "k": size,
+        "precision": "fp32",
+    }
+
+
+def run_benchmarks(quick: bool = False, repeat: int = 1) -> Dict[str, object]:
+    """Run the full functional fast-path benchmark suite; returns the report."""
+    results = {
+        "page_enumeration": bench_page_enumeration(quick, repeat),
+        "tile_translation": bench_tile_translation(quick, repeat, prediction=True),
+        "tile_translation_nopred": bench_tile_translation(quick, repeat, prediction=False),
+        "emulator": bench_emulator(quick, repeat),
+        "functional_gemm": bench_functional_gemm(quick, repeat),
+    }
+    return {"schema": SCHEMA_VERSION, "quick": quick, "repeat": repeat, "results": results}
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a bench report."""
+    lines = ["functional fast-path benchmarks" + (" (quick)" if report.get("quick") else "")]
+    for name, result in report["results"].items():
+        if "speedup" in result:
+            parity = "ok" if result.get("parity") else "MISMATCH"
+            lines.append(
+                f"  {name:<24} scalar {result['scalar_s'] * 1e3:8.1f} ms   "
+                f"vectorized {result['vectorized_s'] * 1e3:8.1f} ms   "
+                f"speedup {result['speedup']:6.1f}x   parity {parity}"
+            )
+        else:
+            lines.append(
+                f"  {name:<24} {result['seconds'] * 1e3:8.1f} ms   "
+                f"{result['gflops']:.2f} GFLOP/s "
+                f"({result['m']}x{result['n']}x{result['k']} {result['precision']})"
+            )
+    return "\n".join(lines)
+
+
+def check_regression(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    factor: float = 2.0,
+) -> List[str]:
+    """Compare a fresh report against a committed baseline.
+
+    Speedups are machine-relative ratios, so they transfer across hosts far
+    better than raw seconds; a benchmark regresses when its speedup falls
+    below ``baseline_speedup / factor``, and a parity mismatch always fails.
+    Returns a list of human-readable failures (empty = pass).
+    """
+    failures = []
+    for name, base in baseline.get("results", {}).items():
+        if "speedup" not in base:
+            continue
+        current = report.get("results", {}).get(name)
+        if current is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        if not current.get("parity", True):
+            failures.append(f"{name}: scalar/vectorized parity mismatch")
+        floor = base["speedup"] / factor
+        if current["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {current['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x / {factor:g})"
+            )
+    return failures
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        return json.load(handle)

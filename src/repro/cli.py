@@ -169,6 +169,26 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    report = bench.run_benchmarks(quick=args.quick, repeat=args.repeat)
+    print(bench.format_report(report))
+    bench.write_report(report, args.output)
+    print(f"wrote {args.output}")
+    if args.baseline:
+        failures = bench.check_regression(
+            report, bench.load_report(args.baseline), factor=args.regression_factor
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(threshold: baseline speedup / {args.regression_factor:g})")
+    return 0
+
+
 def _cmd_table4(args: argparse.Namespace) -> int:
     comparison = compare_cpu_mmae()
     print(render_table(
@@ -214,6 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     table4 = subparsers.add_parser("table4", help="regenerate the Table IV comparison")
     table4.set_defaults(handler=_cmd_table4)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the functional fast path (page prediction, translation, emulator)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads for CI smoke runs")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="timing repetitions (best-of)")
+    bench.add_argument("--output", default="BENCH_functional.json",
+                       help="where to write the JSON report")
+    bench.add_argument("--baseline", default=None,
+                       help="committed baseline report to compare speedups against")
+    bench.add_argument("--regression-factor", type=float, default=2.0,
+                       help="fail if a speedup drops below baseline/factor")
+    bench.set_defaults(handler=_cmd_bench)
 
     explore = subparsers.add_parser(
         "explore", help="design-space exploration over architectural knobs")

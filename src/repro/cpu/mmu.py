@@ -8,11 +8,13 @@ requests through this MMU (paper Sections III.A and IV.A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.mem.address import DEFAULT_PAGE_SIZE
-from repro.mem.page_table import PageTable, PageTableWalker
-from repro.mem.tlb import TLBHierarchy, TranslationResult
+from repro.mem.page_table import PageFaultError, PageTable, PageTableWalker
+from repro.mem.tlb import BatchTranslationResult, TLBHierarchy, TranslationResult
 
 
 @dataclass
@@ -98,6 +100,49 @@ class MMU:
             self.stats.walks += 1
             self.stats.walk_cycles += result.cycles
         return result
+
+    def translate_data_batch(self, asid: int, vaddrs: Sequence[int]) -> BatchTranslationResult:
+        """Translate a batch of data accesses; exact batch twin of :meth:`translate_data`.
+
+        A :class:`PageFaultError` propagates at the first unmapped address in
+        order, after the MMU stats have been updated for the prefix the scalar
+        loop would have processed (the faulting access itself counts as a
+        translation, as it does in the scalar path).
+        """
+        page_table = self.page_table(asid)
+        try:
+            result = self.dtlb.translate_batch(page_table, vaddrs, on_fault="raise")
+        except PageFaultError as error:
+            processed = getattr(error, "batch_processed", 0)
+            self.stats.translations += processed
+            self.stats.dtlb_accesses += processed
+            self.stats.walks += getattr(error, "batch_walks", 0)
+            self.stats.walk_cycles += getattr(error, "batch_walk_cycles", 0)
+            raise
+        self.stats.translations += len(result)
+        self.stats.dtlb_accesses += len(result)
+        self.stats.walks += result.walk_count
+        self.stats.walk_cycles += result.walk_cycles_total
+        return result
+
+    def prewalk_batch(self, asid: int, vaddrs: Sequence[int]) -> BatchTranslationResult:
+        """Batched mATLB prewalk; exact batch twin of per-address :meth:`prewalk` calls.
+
+        Unmapped pages are marked ``LEVEL_FAULT`` and skipped instead of
+        raising, replicating a scalar caller that catches the fault per page
+        and carries on (the faulting request still counts as a prewalk request
+        and as an L1/L2 TLB miss, exactly as in the scalar path).
+        """
+        page_table = self.page_table(asid)
+        result = self.dtlb.translate_batch(page_table, vaddrs, on_fault="skip")
+        self.stats.prewalk_requests += len(result)
+        self.stats.walks += result.walk_count
+        self.stats.walk_cycles += result.walk_cycles_total
+        return result
+
+    def mapped_mask(self, asid: int, vaddrs: Sequence[int]) -> np.ndarray:
+        """Vectorized mapping check against one address space's page table."""
+        return self.page_table(asid).mapped_mask(np.asarray(vaddrs, dtype=np.int64))
 
     def flush_asid(self, asid: int) -> None:
         self.itlb.flush(asid)

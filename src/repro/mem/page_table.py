@@ -9,7 +9,9 @@ latency is what the mATLB's predictive translation hides (paper Section IV.A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.mem.address import DEFAULT_PAGE_SIZE, page_number, page_offset
 
@@ -91,6 +93,49 @@ class PageTable:
             raise PageFaultError(self.asid, vaddr)
         return pfn * self.page_size + page_offset(vaddr, self.page_size)
 
+    # ------------------------------------------------------------------- batch
+    def mapped_mask(self, vaddrs: np.ndarray) -> np.ndarray:
+        """Boolean mask of which virtual addresses have a mapping.
+
+        Vectorized companion of :meth:`is_mapped`: the (typically few) distinct
+        pages are resolved through the entry dict once and broadcast back over
+        the address array.
+        """
+        v = np.asarray(vaddrs, dtype=np.int64)
+        shift = self.page_size.bit_length() - 1
+        uniq, inverse = np.unique(v >> shift, return_inverse=True)
+        entries = self._entries
+        hit = np.fromiter(
+            (vpn in entries for vpn in uniq.tolist()), dtype=bool, count=len(uniq)
+        )
+        return hit[inverse].reshape(v.shape)
+
+    def translate_batch(self, vaddrs: Sequence[int]) -> np.ndarray:
+        """Translate many virtual addresses at once.
+
+        Equivalent to calling :meth:`translate` per address, including raising
+        :class:`PageFaultError` for the first unmapped address in input order.
+        """
+        v = np.asarray(vaddrs, dtype=np.int64)
+        shift = self.page_size.bit_length() - 1
+        vpns = v >> shift
+        uniq, inverse = np.unique(vpns, return_inverse=True)
+        inverse = inverse.reshape(v.shape)
+        entries = self._entries
+        pfns = np.empty(len(uniq), dtype=np.int64)
+        missing = False
+        for index, vpn in enumerate(uniq.tolist()):
+            pfn = entries.get(vpn)
+            if pfn is None:
+                pfns[index] = -1
+                missing = True
+            else:
+                pfns[index] = pfn
+        if missing:
+            bad = int(v[pfns[inverse] < 0][0])
+            raise PageFaultError(self.asid, bad)
+        return (pfns[inverse] << shift) | (v & (self.page_size - 1))
+
     @property
     def mapped_pages(self) -> int:
         return len(self._entries)
@@ -155,6 +200,15 @@ class PageTableWalker:
     tagged) cache hierarchy are cheaper than those that go to DRAM.  The walker
     keeps a small cache of recently used page-table lines to model the common
     case where consecutive walks share upper-level entries.
+
+    The walk cache is a FIFO of ``walk_cache_entries`` lines, represented as a
+    map from line key to the insertion sequence number: a line is resident iff
+    its last insertion lies within the most recent ``walk_cache_entries``
+    insertions.  This is exactly equivalent to evicting the oldest entry of an
+    insertion-ordered dict (every insertion targets a line that just missed,
+    so the live lines are always the last ``walk_cache_entries`` insertions),
+    but it needs no per-insert eviction bookkeeping, which keeps the batched
+    :meth:`walk_batch` loop tight.
     """
 
     def __init__(
@@ -168,36 +222,70 @@ class PageTableWalker:
         self.memory_latency_cycles = memory_latency_cycles
         self.cached_level_latency_cycles = cached_level_latency_cycles
         self.walk_cache_entries = walk_cache_entries
-        self._walk_cache: Dict[tuple[int, int], bool] = {}
+        self._walk_cache: Dict[tuple[int, int], int] = {}  # line key -> insertion number
+        self._inserts = 0
         self.walks_performed = 0
         self.total_walk_cycles = 0
+
+    def _walk_cycles(self, asid: int, vpn: int, levels: int) -> int:
+        """Charge one walk's cache accesses; shared by the scalar and batch paths."""
+        cache = self._walk_cache
+        capacity = self.walk_cache_entries
+        cheap = self.cached_level_latency_cycles
+        expensive = self.memory_latency_cycles
+        inserts = self._inserts
+        cycles = 0
+        for level in range(levels):
+            # Upper levels cover huge regions, so they almost always hit the walk cache;
+            # the leaf level is the one that typically misses for streaming access.
+            key = (asid, vpn >> (9 * (levels - 1 - level)))
+            stamp = cache.get(key)
+            if stamp is not None and stamp >= inserts - capacity:
+                cycles += cheap
+            else:
+                cycles += expensive
+                cache[key] = inserts
+                inserts += 1
+        self._inserts = inserts
+        if len(cache) > 4 * capacity + 256:
+            # Drop stale (already evicted) stamps so the map stays bounded.
+            floor = inserts - capacity
+            self._walk_cache = {k: t for k, t in cache.items() if t >= floor}
+        return cycles
 
     def walk(self, page_table: PageTable, vaddr: int) -> WalkResult:
         """Walk ``page_table`` for ``vaddr``, returning the translation and its cost."""
         paddr = page_table.translate(vaddr)  # raises PageFaultError if unmapped
         vpn = page_number(vaddr, page_table.page_size)
-        cycles = 0
-        accesses = 0
-        for level in range(page_table.levels):
-            # Upper levels cover huge regions, so they almost always hit the walk cache;
-            # the leaf level is the one that typically misses for streaming access.
-            key = (page_table.asid, vpn >> (9 * (page_table.levels - 1 - level)))
-            accesses += 1
-            if key in self._walk_cache:
-                cycles += self.cached_level_latency_cycles
-            else:
-                cycles += self.memory_latency_cycles
-                self._insert_walk_cache(key)
+        cycles = self._walk_cycles(page_table.asid, vpn, page_table.levels)
         self.walks_performed += 1
         self.total_walk_cycles += cycles
-        return WalkResult(paddr=paddr, cycles=cycles, memory_accesses=accesses)
+        return WalkResult(paddr=paddr, cycles=cycles, memory_accesses=page_table.levels)
 
-    def _insert_walk_cache(self, key: tuple[int, int]) -> None:
-        if len(self._walk_cache) >= self.walk_cache_entries:
-            # FIFO eviction is good enough for a latency model.
-            oldest = next(iter(self._walk_cache))
-            del self._walk_cache[oldest]
-        self._walk_cache[key] = True
+    def walk_batch(self, page_table: PageTable, vaddrs: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Walk many addresses; returns ``(paddrs, cycles)`` arrays.
+
+        Equivalent to calling :meth:`walk` per address in order (same walk-cache
+        evolution and stats), with the translation itself vectorized and the
+        cache charging done in one tight loop.  The batch must be fully mapped:
+        an unmapped address raises :class:`PageFaultError` before any state is
+        touched, so callers that need the scalar loop's partial-progress fault
+        semantics must pre-filter with :meth:`PageTable.mapped_mask`.
+        """
+        v = np.asarray(vaddrs, dtype=np.int64)
+        paddrs = page_table.translate_batch(v)
+        shift = page_table.page_size.bit_length() - 1
+        levels = page_table.levels
+        asid = page_table.asid
+        charge = self._walk_cycles
+        cycles = np.fromiter(
+            (charge(asid, vpn, levels) for vpn in (v >> shift).tolist()),
+            dtype=np.int64,
+            count=len(v),
+        )
+        self.walks_performed += len(v)
+        self.total_walk_cycles += int(cycles.sum())
+        return paddrs, cycles
 
     @property
     def average_walk_cycles(self) -> float:

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.mem.address import DEFAULT_PAGE_SIZE, page_number, page_offset
-from repro.mem.page_table import PageTable, PageTableWalker
+from repro.mem.page_table import PageFaultError, PageTable, PageTableWalker
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,34 @@ class TLB:
         self.stats.hits += 1
         return pfn * self.page_size + page_offset(vaddr, self.page_size)
 
+    def lookup_batch(self, asid: int, vaddrs: Sequence[int]) -> np.ndarray:
+        """Look up many addresses at once; misses yield ``-1``.
+
+        Equivalent to calling :meth:`lookup` per address in order: the same
+        hit/miss counts accrue and hits refresh the LRU order in sequence.
+        Lookups never change TLB membership, so the per-address work reduces to
+        one dict probe (plus the LRU touch on hits).
+        """
+        v = np.asarray(vaddrs, dtype=np.int64)
+        shift = self.page_size.bit_length() - 1
+        entries = self._entries
+        get = entries.get
+        move = entries.move_to_end
+        pfns = np.empty(len(v), dtype=np.int64)
+        hits = 0
+        for index, vpn in enumerate((v >> shift).tolist()):
+            pfn = get((asid, vpn))
+            if pfn is None:
+                pfns[index] = -1
+            else:
+                move((asid, vpn))
+                hits += 1
+                pfns[index] = pfn
+        self.stats.hits += hits
+        self.stats.misses += len(v) - hits
+        mask = pfns >= 0
+        return np.where(mask, (pfns << shift) | (v & (self.page_size - 1)), -1)
+
     def probe(self, asid: int, vaddr: int) -> bool:
         """Check for a translation without touching LRU state or stats."""
         return (asid, page_number(vaddr, self.page_size)) in self._entries
@@ -98,6 +128,44 @@ class TranslationResult:
     @property
     def hit(self) -> bool:
         return self.level != "walk"
+
+
+#: Per-address level codes used by the batched translation path.
+LEVEL_L1, LEVEL_L2, LEVEL_WALK, LEVEL_FAULT = 0, 1, 2, 3
+
+
+@dataclass
+class BatchTranslationResult:
+    """Outcome of translating a batch of addresses through the hierarchy.
+
+    ``levels`` holds one of ``LEVEL_L1``/``LEVEL_L2``/``LEVEL_WALK``/
+    ``LEVEL_FAULT`` per address; faulted addresses (skip mode only) carry
+    ``paddr == -1`` and zero cycles.
+    """
+
+    paddrs: np.ndarray
+    cycles: np.ndarray
+    levels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.paddrs)
+
+    @property
+    def walk_count(self) -> int:
+        return int(np.count_nonzero(self.levels == LEVEL_WALK))
+
+    @property
+    def walk_cycles_total(self) -> int:
+        return int(self.cycles[self.levels == LEVEL_WALK].sum())
+
+    @property
+    def fault_count(self) -> int:
+        return int(np.count_nonzero(self.levels == LEVEL_FAULT))
+
+    @property
+    def ok_cycles_total(self) -> int:
+        """Total cycles over the non-faulted addresses."""
+        return int(self.cycles[self.levels != LEVEL_FAULT].sum())
 
 
 class TLBHierarchy:
@@ -149,6 +217,123 @@ class TLBHierarchy:
         cycles as background work that can overlap with computation.
         """
         return self.translate(page_table, vaddr)
+
+    def translate_batch(
+        self,
+        page_table: PageTable,
+        vaddrs: Sequence[int],
+        on_fault: str = "raise",
+    ) -> BatchTranslationResult:
+        """Translate a batch of addresses exactly as per-address :meth:`translate` calls.
+
+        The per-address hit levels, charged cycles, L1/L2 stats and LRU/eviction
+        behaviour match the scalar loop bit for bit; page-table walks are issued
+        through :meth:`PageTableWalker.walk_batch` in access order once the
+        lookup pass has decided which addresses miss both TLB levels.
+
+        ``on_fault`` selects the scalar caller being replicated: ``"raise"``
+        propagates :class:`PageFaultError` at the first unmapped address (after
+        charging the walker for the walks that preceded it, as the scalar loop
+        would have); ``"skip"`` marks the address ``LEVEL_FAULT`` and continues,
+        mirroring callers that catch the fault per address and move on.  In
+        raise mode the exception carries ``batch_processed``/``batch_walks``/
+        ``batch_walk_cycles`` attributes so upstream stats stay exact.
+        """
+        if on_fault not in ("raise", "skip"):
+            raise ValueError(f"on_fault must be 'raise' or 'skip', got {on_fault!r}")
+        v = np.asarray(vaddrs, dtype=np.int64)
+        count = len(v)
+        pfns = np.empty(count, dtype=np.int64)
+        levels = np.empty(count, dtype=np.uint8)
+        cycles = np.zeros(count, dtype=np.int64)
+        if count == 0:
+            return BatchTranslationResult(pfns, cycles, levels)
+
+        asid = page_table.asid
+        shift = self.page_size.bit_length() - 1
+        pt_shift = page_table.page_size.bit_length() - 1
+        pt_mask = page_table.page_size - 1
+        mapped = page_table.mapped_mask(v).tolist()
+        vaddr_list = v.tolist()
+
+        l1_entries = self.l1._entries
+        l2_entries = self.l2._entries
+        l1_capacity = self.l1.capacity
+        l2_capacity = self.l2.capacity
+        l1_cost = self.l1_latency_cycles
+        l2_cost = l1_cost + self.l2_latency_cycles
+        pt_lookup = page_table.lookup
+        l1_hits = l1_misses = l2_hits = l2_misses = 0
+        walk_indices: List[int] = []
+
+        fault_index = -1
+        for index, vaddr in enumerate(vaddr_list):
+            key = (asid, vaddr >> shift)
+            pfn = l1_entries.get(key)
+            if pfn is not None:
+                l1_entries.move_to_end(key)
+                l1_hits += 1
+                pfns[index] = pfn
+                levels[index] = LEVEL_L1
+                cycles[index] = l1_cost
+                continue
+            l1_misses += 1
+            pfn = l2_entries.get(key)
+            if pfn is not None:
+                l2_entries.move_to_end(key)
+                l2_hits += 1
+                if len(l1_entries) >= l1_capacity:
+                    l1_entries.popitem(last=False)
+                l1_entries[key] = pfn
+                pfns[index] = pfn
+                levels[index] = LEVEL_L2
+                cycles[index] = l2_cost
+                continue
+            l2_misses += 1
+            if not mapped[index]:
+                if on_fault == "skip":
+                    pfns[index] = -1
+                    levels[index] = LEVEL_FAULT
+                    continue
+                fault_index = index
+                break
+            # Miss at both levels: the walk's translation is known from the page
+            # table, so the entry installs immediately (later duplicates in the
+            # batch must hit it) and only the walk-cycle charging is deferred.
+            paddr = (pt_lookup(vaddr >> pt_shift) << pt_shift) | (vaddr & pt_mask)
+            pfn = paddr >> shift
+            if len(l1_entries) >= l1_capacity:
+                l1_entries.popitem(last=False)
+            l1_entries[key] = pfn
+            if len(l2_entries) >= l2_capacity:
+                l2_entries.popitem(last=False)
+            l2_entries[key] = pfn
+            walk_indices.append(index)
+            pfns[index] = pfn
+            levels[index] = LEVEL_WALK
+
+        self.l1.stats.hits += l1_hits
+        self.l1.stats.misses += l1_misses
+        self.l2.stats.hits += l2_hits
+        self.l2.stats.misses += l2_misses
+
+        walk_cycles_total = 0
+        if walk_indices:
+            walk_idx = np.asarray(walk_indices, dtype=np.int64)
+            _, walk_cycles = self.walker.walk_batch(page_table, v[walk_idx])
+            cycles[walk_idx] = l2_cost + walk_cycles
+            walk_cycles_total = int((l2_cost + walk_cycles).sum())
+
+        if fault_index >= 0:
+            error = PageFaultError(asid, int(vaddr_list[fault_index]))
+            error.batch_processed = fault_index + 1
+            error.batch_walks = len(walk_indices)
+            error.batch_walk_cycles = walk_cycles_total
+            raise error
+
+        mask = pfns >= 0
+        paddrs = np.where(mask, (pfns << shift) | (v & (self.page_size - 1)), -1)
+        return BatchTranslationResult(paddrs, cycles, levels)
 
     def flush(self, asid: Optional[int] = None) -> None:
         self.l1.flush(asid)

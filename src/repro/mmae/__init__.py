@@ -16,7 +16,12 @@ Fig. 2).  The MMAE contains:
 """
 
 from repro.mmae.pe import ProcessingElement
-from repro.mmae.systolic_array import SystolicArray, SystolicArrayEmulator, TileComputeResult
+from repro.mmae.systolic_array import (
+    SystolicArray,
+    SystolicArrayEmulator,
+    TileComputeResult,
+    VectorizedSystolicArrayEmulator,
+)
 from repro.mmae.buffers import ScratchpadBuffer, BufferSet, BufferAllocationError
 from repro.mmae.dma import DMAEngine, DMATransferResult
 from repro.mmae.matlb import MATLB, TranslationStallEstimate, PageTablePredictor
@@ -35,6 +40,7 @@ __all__ = [
     "ProcessingElement",
     "SystolicArray",
     "SystolicArrayEmulator",
+    "VectorizedSystolicArrayEmulator",
     "TileComputeResult",
     "ScratchpadBuffer",
     "BufferSet",

@@ -69,8 +69,12 @@ class AcceleratorController:
     """One MMAE's controller; satisfies the :class:`repro.isa.executor.MMAEPort` protocol."""
 
     #: Functional execution is only attempted below this operand size, to keep
-    #: the NumPy tile loop affordable in the test-suite.
-    FUNCTIONAL_LIMIT_ELEMENTS = 1 << 22
+    #: the NumPy tile loop affordable in the test-suite.  The batched page
+    #: prediction / translation fast path (translate_tile_batch) made the
+    #: per-tile overhead cheap enough to raise this 4x over the scalar-era
+    #: limit, which brings BERT-sized layers (M*K + K*N ~ 7.5M elements)
+    #: within functional reach.
+    FUNCTIONAL_LIMIT_ELEMENTS = 1 << 24
 
     def __init__(
         self,
@@ -251,7 +255,7 @@ class AcceleratorController:
             for tile2 in tiling.level2_tiles(tile1):
                 a_block, b_block, _ = self.ade.load_operands(memory, descriptor, tile2)
                 if self.mmu is not None:
-                    self.ade.translate_tile(
+                    self.ade.translate_tile_batch(
                         self.mmu,
                         asid,
                         layout_a,

@@ -11,6 +11,7 @@ the timing model charges for.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -19,6 +20,7 @@ import numpy as np
 from repro.gemm.tiling import Tile
 from repro.isa.instructions import GEMMDescriptor
 from repro.mem.hostmem import HostMemory
+from repro.mem.page_table import PageFaultError
 from repro.mmae.buffers import BufferSet
 from repro.mmae.dma import DMAEngine, DMATransferResult
 from repro.mmae.matlb import MATLB, MatrixLayout
@@ -135,7 +137,7 @@ class AcceleratorDataEngine:
         """
         row_start, row_count = tile_rows
         col_start, col_count = tile_cols
-        pages = self.matlb.predictor.tile_page_addresses(
+        pages = self.matlb.predictor.tile_page_addresses_scalar(
             layout, row_start, row_count, col_start, col_count
         )
         stall_cycles = 0
@@ -148,6 +150,88 @@ class AcceleratorDataEngine:
                 stall_cycles += result.cycles
         self.translation_stall_cycles += stall_cycles
         return stall_cycles
+
+    def translate_tile_batch(
+        self,
+        mmu,
+        asid: int,
+        layout: MatrixLayout,
+        tile_rows: Tuple[int, int],
+        tile_cols: Tuple[int, int],
+        prediction_enabled: bool,
+    ) -> int:
+        """Batched :meth:`translate_tile`: one prewalk and one demand stream per tile.
+
+        Bit-identical to the scalar loop — the same pages in the same access
+        order reach the mATLB and the MMU, and every hit/miss/prewalk/walk
+        counter advances identically (the scalar loop interleaves mATLB lookups
+        with demand MMU translations, but the two never touch each other's
+        state, so splitting them into two batched passes preserves every
+        outcome).  A page fault on the demand path propagates at the same page
+        with the same partial counter updates as the scalar loop.
+        """
+        row_start, row_count = tile_rows
+        col_start, col_count = tile_cols
+        pages = self.matlb.predictor.tile_page_vaddrs(
+            layout, row_start, row_count, col_start, col_count
+        )
+        page_list = pages.tolist()
+        if self.matlb.buffer_matches(page_list):
+            # Steady-state reuse tile: the prewalk skips every page (no stats,
+            # no LRU change) and the lookup stream hits every page while
+            # leaving the LRU order exactly as it is, so the whole pass
+            # reduces to the bulk hit count with zero stall cycles.
+            self.matlb.stats.hits += len(page_list)
+            return 0
+        if prediction_enabled:
+            self.matlb.prewalk_pages_batch(mmu, asid, pages)
+        # Snapshot the mATLB's lookup-visible state so the (in practice dead)
+        # demand-fault path below can rewind to exactly what the scalar loop
+        # would have touched; lookups never change membership or values, so
+        # the key order plus the two counters is the whole state.
+        matlb_entries = self.matlb._entries
+        lru_snapshot = list(matlb_entries.keys())
+        stats_snapshot = (self.matlb.stats.hits, self.matlb.stats.misses)
+        paddrs = self.matlb.lookup_batch(pages)
+        missing = pages[paddrs < 0]
+        stall_cycles = 0
+        if missing.size:
+            if not mmu.mapped_mask(asid, missing).all():
+                self._demand_fault(mmu, asid, page_list, missing, lru_snapshot, stats_snapshot)
+            demand = mmu.translate_data_batch(asid, missing)
+            self.demand_translations += int(missing.size)
+            stall_cycles = int(demand.cycles.sum())
+        self.translation_stall_cycles += stall_cycles
+        return stall_cycles
+
+    def _demand_fault(self, mmu, asid, page_list, missing, lru_snapshot, stats_snapshot):
+        """Replay the scalar loop's partial progress for a faulting demand page.
+
+        The scalar loop stops at the first mATLB-missing page that faults: mATLB
+        lookups (stats + LRU refreshes) cover only the pages up to and including
+        the faulter, demand translations cover only the missing pages before it.
+        The batched lookup above already touched every page, so rewind the mATLB
+        to the snapshot, replay the prefix, and let the batched demand
+        translation raise at the faulter with exact MMU-side partial stats.
+        """
+        matlb = self.matlb
+        matlb._entries = OrderedDict(
+            (page, matlb._entries[page]) for page in lru_snapshot
+        )
+        matlb.stats.hits, matlb.stats.misses = stats_snapshot
+        missing_list = missing.tolist()
+        fault_index = next(
+            index for index, mapped in enumerate(mmu.mapped_mask(asid, missing).tolist())
+            if not mapped
+        )
+        cutoff = page_list.index(missing_list[fault_index])
+        matlb.lookup_batch(page_list[: cutoff + 1])
+        try:
+            mmu.translate_data_batch(asid, missing_list[: fault_index + 1])
+        except PageFaultError as error:
+            self.demand_translations += getattr(error, "batch_processed", 1) - 1
+            raise
+        raise RuntimeError("unreachable: an unmapped demand page must fault")
 
     @property
     def total_bytes_transferred(self) -> int:

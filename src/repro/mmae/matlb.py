@@ -23,7 +23,9 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.gemm.tiling import TileConfig, TwoLevelTiling
 from repro.gemm.workloads import GEMMShape
@@ -53,12 +55,107 @@ class MatrixLayout:
 
 
 class PageTablePredictor:
-    """Computes which pages a rectangular tile of a matrix will touch (Fig. 4)."""
+    """Computes which pages a rectangular tile of a matrix will touch (Fig. 4).
+
+    The enumeration is vectorized: the per-row page runs collapse to
+    ``arange``/``unique`` arithmetic, and because the page pattern of a tile
+    depends only on its geometry (row count, segment bytes, row stride) and on
+    the first element's offset within its page, interior tiles of a sweep share
+    one cached *offset template* that is rebased per tile instead of being
+    re-enumerated.  :meth:`tile_page_addresses_scalar` retains the original
+    element-at-a-time reference; the two are bit-identical, page order
+    included, which the parity tests enforce.
+    """
+
+    #: Geometry templates kept before the memo is reset (each is a small array).
+    TEMPLATE_CACHE_ENTRIES = 1024
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if page_size <= 0 or page_size & (page_size - 1):
             raise ValueError("page size must be a positive power of two")
         self.page_size = page_size
+        self._templates: Dict[Tuple[int, int, int, int], np.ndarray] = {}
+
+    def _check_tile(
+        self, layout: MatrixLayout, row_start: int, row_count: int, col_start: int, col_count: int
+    ) -> None:
+        if row_start < 0 or col_start < 0:
+            raise ValueError("tile origin must be non-negative")
+        if row_start + row_count > layout.rows or col_start + col_count > layout.cols:
+            raise ValueError("tile exceeds the matrix bounds")
+
+    def tile_page_addresses_scalar(
+        self,
+        layout: MatrixLayout,
+        row_start: int,
+        row_count: int,
+        col_start: int,
+        col_count: int,
+    ) -> List[int]:
+        """Element-at-a-time reference enumeration (the pre-vectorization path)."""
+        self._check_tile(layout, row_start, row_count, col_start, col_count)
+        pages: List[int] = []
+        seen: Set[int] = set()
+        for row in range(row_start, row_start + row_count):
+            first = layout.element_vaddr(row, col_start)
+            last = layout.element_vaddr(row, col_start + col_count - 1) + layout.element_bytes - 1
+            page = align_down(first, self.page_size)
+            while page <= last:
+                if page not in seen:
+                    seen.add(page)
+                    pages.append(page)
+                page += self.page_size
+        return pages
+
+    def _page_offsets(self, first_offset: int, row_count: int, segment_bytes: int,
+                      row_stride_bytes: int) -> np.ndarray:
+        """Deduplicated page offsets (relative to the first element's page base).
+
+        ``first_offset`` is the first element's offset within its page; the
+        returned array is the tile's page-aligned addresses minus
+        ``align_down(first_element_vaddr, page_size)``, in access order.
+        """
+        shift = self.page_size.bit_length() - 1
+        rows = np.arange(row_count, dtype=np.int64)
+        row_first = first_offset + rows * row_stride_bytes
+        row_last = row_first + segment_bytes - 1
+        first_page = row_first >> shift
+        counts = (row_last >> shift) - first_page + 1
+        total = int(counts.sum())
+        if total <= 0:
+            return np.empty(0, dtype=np.int64)
+        # Flatten the per-row page runs: page index p of row r is
+        # first_page[r] + p, visited rows-outer / pages-inner.
+        run_starts = np.cumsum(counts) - counts
+        flat = np.repeat(first_page, counts) + (
+            np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        )
+        # Deduplicate keeping the first occurrence, preserving access order.
+        _, first_seen = np.unique(flat, return_index=True)
+        return flat[np.sort(first_seen)] << shift
+
+    def tile_page_vaddrs(
+        self,
+        layout: MatrixLayout,
+        row_start: int,
+        row_count: int,
+        col_start: int,
+        col_count: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`tile_page_addresses`, returned as an ``int64`` array."""
+        self._check_tile(layout, row_start, row_count, col_start, col_count)
+        element = layout.element_bytes
+        stride_bytes = layout.row_stride_elements * element
+        first = layout.base_vaddr + (row_start * layout.row_stride_elements + col_start) * element
+        first_offset = first & (self.page_size - 1)
+        key = (row_count, col_count * element, stride_bytes, first_offset)
+        offsets = self._templates.get(key)
+        if offsets is None:
+            offsets = self._page_offsets(first_offset, row_count, col_count * element, stride_bytes)
+            if len(self._templates) >= self.TEMPLATE_CACHE_ENTRIES:
+                self._templates.clear()
+            self._templates[key] = offsets
+        return (first - first_offset) + offsets
 
     def tile_page_addresses(
         self,
@@ -73,22 +170,7 @@ class PageTablePredictor:
         This reproduces the observation of Fig. 4: the first element located in
         each page determines the pages the DMA stream will need translated.
         """
-        if row_start < 0 or col_start < 0:
-            raise ValueError("tile origin must be non-negative")
-        if row_start + row_count > layout.rows or col_start + col_count > layout.cols:
-            raise ValueError("tile exceeds the matrix bounds")
-        pages: List[int] = []
-        seen: Set[int] = set()
-        for row in range(row_start, row_start + row_count):
-            first = layout.element_vaddr(row, col_start)
-            last = layout.element_vaddr(row, col_start + col_count - 1) + layout.element_bytes - 1
-            page = align_down(first, self.page_size)
-            while page <= last:
-                if page not in seen:
-                    seen.add(page)
-                    pages.append(page)
-                page += self.page_size
-        return pages
+        return self.tile_page_vaddrs(layout, row_start, row_count, col_start, col_count).tolist()
 
     def pages_per_tile(
         self, layout: MatrixLayout, row_count: int, col_count: int
@@ -166,6 +248,99 @@ class MATLB:
         """Predict and pre-walk every page of one tile; returns the walk cycles."""
         pages = self.predictor.tile_page_addresses(layout, row_start, row_count, col_start, col_count)
         return self.prewalk_pages(mmu, asid, pages)
+
+    def prewalk_pages_batch(self, mmu, asid: int, page_vaddrs: Sequence[int]) -> int:
+        """Batched :meth:`prewalk_pages`: one MMU prewalk request stream per tile.
+
+        Bit-identical to the scalar loop: the same pages reach the MMU in the
+        same order (pages already buffered are skipped, pages made resident or
+        evicted earlier in this very batch are accounted for), faulting pages
+        are counted and skipped, and the same walk cycles are returned.  The
+        buffer inserts resolve translations directly against the page table so
+        the membership scan stays a tight dict loop; the MMU/TLB/walker charge
+        for the misses happens in one batched prewalk afterwards, which cannot
+        change the outcome because the MMU never touches the mATLB state.
+        (Like the batched TLB path, this assumes the TLBs are consistent with
+        the page table — i.e. no unmap without a flush, which no caller does.)
+        """
+        v = np.asarray(page_vaddrs, dtype=np.int64)
+        if v.size == 0:
+            return 0
+        page_mask = self.page_size - 1
+        pages = (v & ~page_mask).tolist()
+        entries = self._entries
+        capacity = self.capacity
+        to_walk: List[int] = []
+        page_table = None
+        prewalks = faults = evictions = 0
+        for page_vaddr in pages:
+            if page_vaddr in entries:
+                continue
+            if page_table is None:
+                # Deferred so an unregistered ASID raises exactly where the
+                # scalar loop's first mmu.prewalk() call would.
+                page_table = mmu.page_table(asid)
+                pt_shift = page_table.page_size.bit_length() - 1
+                pt_lookup = page_table.lookup
+            pfn = pt_lookup(page_vaddr >> pt_shift)
+            to_walk.append(page_vaddr)
+            if pfn is None:
+                faults += 1
+                continue
+            prewalks += 1
+            if len(entries) >= capacity:
+                entries.popitem(last=False)
+                evictions += 1
+            paddr = (pfn << pt_shift) | (page_vaddr & (page_table.page_size - 1))
+            entries[page_vaddr] = paddr & ~page_mask
+        self.stats.prewalks += prewalks
+        self.stats.page_faults += faults
+        self.stats.evictions += evictions
+        if not to_walk:
+            return 0
+        return mmu.prewalk_batch(asid, to_walk).ok_cycles_total
+
+    def buffer_matches(self, page_vaddrs: List[int]) -> bool:
+        """True iff the buffer holds exactly these pages, in this LRU order.
+
+        This is the steady-state of a tile sweep that re-streams the same
+        operand panel (the Fig. 4 reuse pattern): when it holds, a prewalk
+        skips every page without touching stats or LRU state, and a lookup
+        stream over the pages hits every page while re-establishing the very
+        same LRU order — so the whole prewalk+lookup pass reduces to a bulk
+        hit-counter update.  Callers must pass page-aligned addresses in
+        access order.
+        """
+        entries = self._entries
+        return len(entries) == len(page_vaddrs) and list(entries.keys()) == page_vaddrs
+
+    def lookup_batch(self, vaddrs: Sequence[int]) -> np.ndarray:
+        """Batched :meth:`lookup`; misses yield ``-1``.
+
+        Hit/miss counts and the LRU refresh order match the scalar per-address
+        sequence exactly (lookups never change membership, so one pass over the
+        batch suffices).
+        """
+        v = np.asarray(vaddrs, dtype=np.int64)
+        page_mask = self.page_size - 1
+        entries = self._entries
+        get = entries.get
+        move = entries.move_to_end
+        paddrs: List[int] = []
+        append = paddrs.append
+        hits = 0
+        for vaddr in v.tolist():
+            page_vaddr = vaddr & ~page_mask
+            paddr_page = get(page_vaddr)
+            if paddr_page is None:
+                append(-1)
+            else:
+                move(page_vaddr)
+                hits += 1
+                append(paddr_page + vaddr - page_vaddr)
+        self.stats.hits += hits
+        self.stats.misses += len(v) - hits
+        return np.array(paddrs, dtype=np.int64)
 
     def lookup(self, vaddr: int) -> Optional[int]:
         """Return the translated physical address if the page is buffered."""

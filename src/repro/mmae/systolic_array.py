@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,10 @@ class SystolicArray:
         self.frequency_hz = frequency_hz
         self.total_macs = 0
         self.total_cycles = 0
+        # tile_cycles is pure in (tr, tc, tk, precision) but the controller
+        # asks it for thousands of identically-shaped tiles per GEMM, so the
+        # ceil arithmetic is memoized per array instance.
+        self._tile_cycles_cache: Dict[Tuple[int, int, int, Precision], int] = {}
 
     # ------------------------------------------------------------------- rates
     def macs_per_cycle(self, precision: Precision = Precision.FP64) -> int:
@@ -73,13 +77,19 @@ class SystolicArray:
         current block's streaming, so only the first fill and the final drain
         of the ``rows + cols`` deep wavefront are exposed.
         """
+        key = (tr, tc, tk, precision)
+        cycles = self._tile_cycles_cache.get(key)
+        if cycles is not None:
+            return cycles
         if tr <= 0 or tc <= 0 or tk <= 0:
             raise ValueError("tile dimensions must be positive")
         lanes = precision.simd_ways
         stationary_blocks = math.ceil(tk / self.rows) * math.ceil(tc / (self.cols * lanes))
         streaming_cycles = stationary_blocks * tr
         fill_drain = self.rows + self.cols
-        return streaming_cycles + fill_drain
+        cycles = streaming_cycles + fill_drain
+        self._tile_cycles_cache[key] = cycles
+        return cycles
 
     def ideal_tile_cycles(self, tr: int, tc: int, tk: int, precision: Precision = Precision.FP64) -> float:
         """Lower bound: MACs divided by the array's MAC rate."""
@@ -199,3 +209,80 @@ class SystolicArrayEmulator:
                 if 0 <= out_index < tr:
                     output[out_index, c] = partial[self.rows, c]
         return TileComputeResult(output=output, cycles=total_cycles, macs=tr * self.rows * self.cols)
+
+
+class VectorizedSystolicArrayEmulator:
+    """NumPy wavefront emulator: the whole array advances one cycle per step.
+
+    Models the same input-stationary dataflow as :class:`SystolicArrayEmulator`
+    but replaces the per-PE ``mac()`` calls with whole-array shifts: each cycle
+    the skewed A injections enter the west edge as one vector, every PE's
+    multiply-accumulate happens as one elementwise ``partial + a * w``, and the
+    south-edge drain is collected with one fancy-indexed store.  The per-cycle
+    cost is O(1) NumPy calls instead of O(rows x cols) Python MACs, so the
+    emulator stops being quadratic-Python and can validate wavefronts far above
+    the scalar emulator's toy sizes.
+
+    Outputs, cycle counts and the aggregate MAC count are bit-identical to the
+    scalar emulator: the elementwise operations are the same IEEE multiplies
+    and adds, applied to the same operands in the same cycle order (the parity
+    tests assert ``array_equal``, not closeness).
+    """
+
+    def __init__(self, rows: int = 4, cols: int = 4, precision: Precision = Precision.FP64) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.precision = precision
+        self.macs_performed = 0
+
+    def run_block(self, a_block: np.ndarray, b_block: np.ndarray) -> TileComputeResult:
+        """Run one stationary block: ``a_block (tr x rows) @ b_block (rows x cols)``.
+
+        The B block must match the array dimensions exactly (one stationary
+        element per PE, single-lane mode), as in the scalar emulator.
+        """
+        if self.precision.simd_ways != 1:
+            raise NotImplementedError("the emulator models the single-lane (FP64) dataflow")
+        rows, cols = self.rows, self.cols
+        tr, depth = a_block.shape
+        if depth != rows or b_block.shape != (rows, cols):
+            raise ValueError(
+                f"expected A (tr x {rows}) and B ({rows} x {cols}), "
+                f"got {a_block.shape} and {b_block.shape}"
+            )
+        acc_dtype = self.precision.accumulate_dtype
+        # Stationary operands, cast through the input precision exactly as
+        # ProcessingElement.load_weights does.
+        weights = b_block.astype(self.precision.dtype).astype(acc_dtype)
+        a_cast = np.asarray(a_block, dtype=acc_dtype)
+
+        output = np.zeros((tr, cols), dtype=acc_dtype)
+        total_cycles = rows + cols + tr - 2
+        partial = np.zeros((rows + 1, cols), dtype=acc_dtype)
+        a_in_flight = np.zeros((rows, cols + 1), dtype=acc_dtype)
+        row_index = np.arange(rows)
+        col_index = np.arange(cols)
+        a_arriving = np.empty((rows, cols), dtype=acc_dtype)
+        for cycle in range(total_cycles):
+            # Skewed injection: row r consumes A[cycle - r, r] this cycle.
+            inject_index = cycle - row_index
+            inject_valid = (inject_index >= 0) & (inject_index < tr)
+            inject = np.zeros(rows, dtype=acc_dtype)
+            inject[inject_valid] = a_cast[inject_index[inject_valid], row_index[inject_valid]]
+            # Column 0 consumes this cycle's injection; columns 1.. consume the
+            # values that travelled from their west neighbour.
+            a_arriving[:, 0] = inject
+            a_arriving[:, 1:] = a_in_flight[:, 1:cols]
+            # One MAC per PE: partial sums advance one row south.
+            new_partial = np.empty_like(partial)
+            new_partial[0, :] = 0.0
+            new_partial[1:, :] = partial[:rows, :] + a_arriving * weights
+            partial = new_partial
+            # A values advance one column east.
+            a_in_flight[:, 1:] = a_arriving
+            self.macs_performed += rows * cols
+            # Collect results leaving the south edge (skewed by column).
+            out_index = cycle - (rows - 1) - col_index
+            out_valid = (out_index >= 0) & (out_index < tr)
+            output[out_index[out_valid], col_index[out_valid]] = partial[rows, out_valid]
+        return TileComputeResult(output=output, cycles=total_cycles, macs=tr * rows * cols)

@@ -8,23 +8,26 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.
 
     Events are ordered by ``(time, priority, sequence)`` so that simultaneous
     events fire in a deterministic order: lower priority value first, then
-    insertion order.
+    insertion order.  The event object itself is deliberately lightweight
+    (``__slots__``, no ordering protocol): the queue keeps the sort key in its
+    heap entries, and the per-event allocation is the dominant cost of every
+    discrete-event run.
     """
 
     time: float
     priority: int
     sequence: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(default=(), compare=False)
-    kwargs: dict = field(default_factory=dict, compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    callback: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    cancelled: bool = False
+    label: str = ""
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
@@ -36,14 +39,18 @@ class Event:
 
 
 class EventQueue:
-    """A min-heap of :class:`Event` objects keyed by time."""
+    """A min-heap of :class:`Event` objects keyed by time.
+
+    The heap holds ``(time, priority, sequence, event)`` tuples so ordering
+    uses plain tuple comparison instead of dataclass comparison dunders.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     def __bool__(self) -> bool:
         return len(self) > 0
@@ -60,33 +67,34 @@ class EventQueue:
         """Schedule ``callback`` at ``time`` and return the event handle."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
+        sequence = next(self._counter)
         event = Event(
             time=time,
             priority=priority,
-            sequence=next(self._counter),
+            sequence=sequence,
             callback=callback,
             args=args,
             kwargs=kwargs,
             label=label,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if not event.cancelled:
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next non-cancelled event without popping it."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def clear(self) -> None:
         self._heap.clear()

@@ -1,0 +1,521 @@
+"""Scalar/vectorized parity for the functional fast path.
+
+The vectorized kernels (page prediction, batch translation, the NumPy
+wavefront emulator) must be *bit-identical* to the retained scalar
+references: same pages in the same access order, identical mATLB/TLB/walker
+hit/miss/prewalk counters and internal LRU/FIFO orders, identical emulator
+outputs and cycle counts.  These tests drive both implementations over the
+same randomized workloads (including edge tiles and non-power-of-two strides)
+and compare exhaustively.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.mmu import MMU
+from repro.cpu.process import ProcessManager
+from repro.gemm.precision import Precision
+from repro.mem.page_table import (
+    FrameAllocator,
+    AddressSpace,
+    PageFaultError,
+    PageTable,
+    PageTableWalker,
+)
+from repro.mem.tlb import LEVEL_FAULT, LEVEL_L1, LEVEL_L2, LEVEL_WALK, TLB, TLBHierarchy
+from repro.mmae.data_engine import AcceleratorDataEngine
+from repro.mmae.matlb import MATLB, MatrixLayout, PageTablePredictor
+from repro.mmae.systolic_array import (
+    SystolicArray,
+    SystolicArrayEmulator,
+    VectorizedSystolicArrayEmulator,
+)
+
+
+# ------------------------------------------------------------------ helpers
+def make_space(pages: int, asid: int = 0, page_size: int = 4096) -> AddressSpace:
+    space = AddressSpace(asid=asid, frame_allocator=FrameAllocator(total_frames=pages + 8),
+                         page_size=page_size)
+    space.allocate_region("m", pages * page_size)
+    return space
+
+
+def tlb_state(tlb: TLB):
+    return (vars(tlb.stats).copy(), list(tlb._entries.items()))
+
+
+def hierarchy_state(h: TLBHierarchy):
+    return (
+        tlb_state(h.l1),
+        tlb_state(h.l2),
+        h.walker.walks_performed,
+        h.walker.total_walk_cycles,
+    )
+
+
+def mmu_state(mmu: MMU):
+    return (vars(mmu.stats).copy(), hierarchy_state(mmu.dtlb))
+
+
+def matlb_state(matlb: MATLB):
+    return (vars(matlb.stats).copy(), list(matlb._entries.items()))
+
+
+# ------------------------------------------------------- predictor parity
+class TestPredictorParity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stride=st.integers(64, 700),       # non-power-of-two strides included
+        element_bytes=st.sampled_from([2, 4, 8]),
+        base_page_offset=st.integers(0, 4095),
+        row_start=st.integers(0, 40),
+        row_count=st.integers(1, 80),
+        col_start=st.integers(0, 40),
+        col_count=st.integers(1, 24),
+    )
+    def test_matches_scalar_reference_exactly(
+        self, stride, element_bytes, base_page_offset, row_start, row_count, col_start, col_count
+    ):
+        layout = MatrixLayout(
+            base_vaddr=0x40_0000 + base_page_offset,
+            rows=row_start + row_count,
+            cols=max(64, col_start + col_count),
+            row_stride_elements=max(stride, col_start + col_count),
+            element_bytes=element_bytes,
+        )
+        predictor = PageTablePredictor()
+        scalar = predictor.tile_page_addresses_scalar(
+            layout, row_start, row_count, col_start, col_count
+        )
+        vectorized = predictor.tile_page_vaddrs(
+            layout, row_start, row_count, col_start, col_count
+        )
+        assert vectorized.tolist() == scalar  # same pages, same access order
+        assert predictor.tile_page_addresses(
+            layout, row_start, row_count, col_start, col_count
+        ) == scalar
+
+    def test_template_memo_is_rebased_not_stale(self):
+        """Two tiles with identical geometry but different bases share a template."""
+        layout = MatrixLayout(0x10_0000, 1024, 1024, 1024, 8)
+        predictor = PageTablePredictor()
+        first = predictor.tile_page_vaddrs(layout, 0, 64, 0, 64)
+        second = predictor.tile_page_vaddrs(layout, 64, 64, 0, 64)
+        assert len(predictor._templates) == 1  # one geometry, memoized once
+        assert second.tolist() == predictor.tile_page_addresses_scalar(layout, 64, 64, 0, 64)
+        assert first.tolist() != second.tolist()
+
+    def test_bounds_errors_match_scalar(self):
+        layout = MatrixLayout(0, 64, 64, 64, 8)
+        predictor = PageTablePredictor()
+        for args in [(-1, 4, 0, 4), (0, 4, -1, 4), (60, 8, 0, 8), (0, 8, 60, 8)]:
+            with pytest.raises(ValueError):
+                predictor.tile_page_addresses_scalar(layout, *args)
+            with pytest.raises(ValueError):
+                predictor.tile_page_vaddrs(layout, *args)
+
+
+# ------------------------------------------------------------ walker parity
+class ReferenceWalkCache:
+    """The seed's walk cache: insertion-ordered dict with FIFO eviction."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self.cache = {}
+
+    def access(self, key) -> bool:
+        if key in self.cache:
+            return True
+        if len(self.cache) >= self.entries:
+            del self.cache[next(iter(self.cache))]
+        self.cache[key] = True
+        return False
+
+
+class TestWalkerParity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        vpns=st.lists(st.integers(0, 300), min_size=1, max_size=200),
+        capacity=st.integers(1, 12),
+    )
+    def test_timestamp_fifo_equals_seed_dict_fifo(self, vpns, capacity):
+        """The timestamp formulation is exactly the seed's dict-FIFO cache."""
+        space = make_space(pages=301)
+        table = space.page_table
+        walker = PageTableWalker(walk_cache_entries=capacity)
+        reference = ReferenceWalkCache(capacity)
+        for vpn in vpns:
+            vaddr = 0x10_0000 + vpn * 4096
+            result = walker.walk(table, vaddr)
+            expected = 0
+            for level in range(table.levels):
+                key = (table.asid, (vaddr >> 12) >> (9 * (table.levels - 1 - level)))
+                if reference.access(key):
+                    expected += walker.cached_level_latency_cycles
+                else:
+                    expected += walker.memory_latency_cycles
+            assert result.cycles == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        vpns=st.lists(st.integers(0, 200), min_size=1, max_size=120),
+        capacity=st.integers(1, 12),
+        split=st.integers(0, 120),
+    )
+    def test_walk_batch_equals_scalar_walks(self, vpns, capacity, split):
+        """walk_batch after a scalar warm-up gives identical paddrs/cycles/stats."""
+        space = make_space(pages=201)
+        table = space.page_table
+        scalar = PageTableWalker(walk_cache_entries=capacity)
+        batched = PageTableWalker(walk_cache_entries=capacity)
+        vaddrs = [0x10_0000 + vpn * 4096 + 17 for vpn in vpns]
+        warmup, batch = vaddrs[: split % (len(vaddrs) + 1)], vaddrs[split % (len(vaddrs) + 1):]
+        scalar_results = []
+        for vaddr in warmup:
+            scalar.walk(table, vaddr)
+            batched.walk(table, vaddr)
+        for vaddr in batch:
+            result = scalar.walk(table, vaddr)
+            scalar_results.append((result.paddr, result.cycles))
+        if batch:
+            paddrs, cycles = batched.walk_batch(table, batch)
+            assert list(zip(paddrs.tolist(), cycles.tolist())) == scalar_results
+        assert batched.walks_performed == scalar.walks_performed
+        assert batched.total_walk_cycles == scalar.total_walk_cycles
+        # Behavioural equivalence going forward, not just aggregate equality:
+        probe = 0x10_0000 + 123 * 4096
+        assert scalar.walk(table, probe).cycles == batched.walk(table, probe).cycles
+
+
+# ---------------------------------------------------------------- TLB parity
+class TestTLBBatchParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vpns=st.lists(st.integers(0, 40), min_size=1, max_size=100),
+        capacity=st.integers(1, 8),
+    )
+    def test_lookup_batch_matches_scalar_lookups(self, vpns, capacity):
+        scalar = TLB(entries=capacity)
+        batched = TLB(entries=capacity)
+        for tlb in (scalar, batched):
+            for vpn in range(0, 20, 2):
+                tlb.insert(0, vpn * 4096, (100 + vpn) * 4096)
+        vaddrs = [vpn * 4096 + 5 for vpn in vpns]
+        expected = [scalar.lookup(0, vaddr) for vaddr in vaddrs]
+        got = batched.lookup_batch(0, vaddrs)
+        assert got.tolist() == [-1 if paddr is None else paddr for paddr in expected]
+        assert tlb_state(scalar) == tlb_state(batched)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vpns=st.lists(st.integers(0, 60), min_size=1, max_size=120),
+        l1_entries=st.integers(1, 6),
+        l2_entries=st.integers(2, 16),
+        mapped_pages=st.integers(1, 61),
+    )
+    def test_translate_batch_skip_mode_matches_scalar_loop(
+        self, vpns, l1_entries, l2_entries, mapped_pages
+    ):
+        """Mixed hit/miss/walk/fault streams behave identically, per address."""
+        space = make_space(pages=mapped_pages)
+        table = space.page_table
+        scalar = TLBHierarchy(l1_entries=l1_entries, l2_entries=l2_entries)
+        batched = TLBHierarchy(l1_entries=l1_entries, l2_entries=l2_entries)
+        vaddrs = [0x10_0000 + vpn * 4096 + 7 for vpn in vpns]
+        expected = []
+        for vaddr in vaddrs:
+            try:
+                result = scalar.translate(table, vaddr)
+            except PageFaultError:
+                expected.append((-1, 0, LEVEL_FAULT))
+            else:
+                code = {"l1": LEVEL_L1, "l2": LEVEL_L2, "walk": LEVEL_WALK}[result.level]
+                expected.append((result.paddr, result.cycles, code))
+        result = batched.translate_batch(table, vaddrs, on_fault="skip")
+        got = list(zip(result.paddrs.tolist(), result.cycles.tolist(), result.levels.tolist()))
+        assert got == expected
+        assert hierarchy_state(scalar) == hierarchy_state(batched)
+
+    def test_translate_batch_raise_mode_matches_scalar_partial_progress(self):
+        space = make_space(pages=4)
+        table = space.page_table
+        scalar = TLBHierarchy(l1_entries=2, l2_entries=4)
+        batched = TLBHierarchy(l1_entries=2, l2_entries=4)
+        # Two mapped pages, then an unmapped one, then a mapped page that must
+        # never be reached.
+        vaddrs = [0x10_0000, 0x10_1000, 0x90_0000, 0x10_2000]
+        with pytest.raises(PageFaultError):
+            for vaddr in vaddrs:
+                scalar.translate(table, vaddr)
+        with pytest.raises(PageFaultError) as excinfo:
+            batched.translate_batch(table, vaddrs, on_fault="raise")
+        assert excinfo.value.vaddr == 0x90_0000
+        assert excinfo.value.batch_processed == 3
+        assert hierarchy_state(scalar) == hierarchy_state(batched)
+
+    def test_translate_batch_rejects_unknown_fault_mode(self):
+        space = make_space(pages=1)
+        hierarchy = TLBHierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.translate_batch(space.page_table, [0x10_0000], on_fault="ignore")
+
+
+# ---------------------------------------------------------------- MMU parity
+class TestMMUBatchParity:
+    def _mmu_pair(self, pages=32):
+        space = make_space(pages=pages)
+        mmus = []
+        for _ in range(2):
+            mmu = MMU(itlb_entries=4, dtlb_entries=4, l2_entries=16)
+            mmu.register_page_table(space.page_table)
+            mmus.append(mmu)
+        return mmus[0], mmus[1], space
+
+    def test_prewalk_batch_matches_scalar_prewalks_with_faults(self):
+        scalar, batched, space = self._mmu_pair(pages=8)
+        vaddrs = [0x10_0000 + i * 4096 for i in range(8)] + [0xDEAD_0000, 0x10_0000]
+        expected_cycles = []
+        for vaddr in vaddrs:
+            try:
+                expected_cycles.append(scalar.prewalk(0, vaddr).cycles)
+            except PageFaultError:
+                expected_cycles.append(None)
+        result = batched.prewalk_batch(0, vaddrs)
+        got = [None if lvl == LEVEL_FAULT else cycles
+               for cycles, lvl in zip(result.cycles.tolist(), result.levels.tolist())]
+        assert got == expected_cycles
+        assert mmu_state(scalar) == mmu_state(batched)
+
+    def test_translate_data_batch_matches_scalar_and_fault_counts(self):
+        scalar, batched, space = self._mmu_pair(pages=4)
+        good = [0x10_0000 + i * 4096 for i in range(4)]
+        expected = [scalar.translate_data(0, vaddr).cycles for vaddr in good]
+        result = batched.translate_data_batch(0, good)
+        assert result.cycles.tolist() == expected
+        assert mmu_state(scalar) == mmu_state(batched)
+        # Now a faulting batch: stats advance for the prefix plus the faulter.
+        with pytest.raises(PageFaultError):
+            for vaddr in [0x10_0000, 0xBAD_F000]:
+                scalar.translate_data(0, vaddr)
+        with pytest.raises(PageFaultError):
+            batched.translate_data_batch(0, [0x10_0000, 0xBAD_F000])
+        assert mmu_state(scalar) == mmu_state(batched)
+
+    def test_unregistered_asid_raises_keyerror(self):
+        _, batched, _ = self._mmu_pair()
+        with pytest.raises(KeyError):
+            batched.prewalk_batch(99, [0x10_0000])
+
+
+# -------------------------------------------------------------- MATLB parity
+class TestMATLBBatchParity:
+    def _stack(self, pages=64, matlb_entries=8):
+        space = make_space(pages=pages)
+        stacks = []
+        for _ in range(2):
+            mmu = MMU()
+            mmu.register_page_table(space.page_table)
+            stacks.append((mmu, MATLB(entries=matlb_entries)))
+        return stacks[0], stacks[1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(vpns=st.lists(st.integers(0, 40), min_size=1, max_size=60),
+           entries=st.integers(1, 10))
+    def test_prewalk_pages_batch_matches_scalar(self, vpns, entries):
+        (mmu_s, matlb_s), (mmu_b, matlb_b) = self._stack(pages=32, matlb_entries=entries)
+        pages = [0x10_0000 + vpn * 4096 for vpn in vpns]  # vpns > 31 are unmapped
+        scalar_cycles = matlb_s.prewalk_pages(mmu_s, 0, pages)
+        batch_cycles = matlb_b.prewalk_pages_batch(mmu_b, 0, pages)
+        assert batch_cycles == scalar_cycles
+        assert matlb_state(matlb_s) == matlb_state(matlb_b)
+        assert mmu_state(mmu_s) == mmu_state(mmu_b)
+
+    def test_lookup_batch_matches_scalar_lookups(self):
+        (mmu_s, matlb_s), (mmu_b, matlb_b) = self._stack()
+        pages = [0x10_0000 + i * 4096 for i in range(6)]
+        for matlb, mmu in ((matlb_s, mmu_s), (matlb_b, mmu_b)):
+            matlb.prewalk_pages(mmu, 0, pages[:4])
+        vaddrs = [page + 123 for page in pages] + [pages[0] + 4]
+        expected = [matlb_s.lookup(vaddr) for vaddr in vaddrs]
+        got = matlb_b.lookup_batch(vaddrs)
+        assert got.tolist() == [-1 if paddr is None else paddr for paddr in expected]
+        assert matlb_state(matlb_s) == matlb_state(matlb_b)
+
+    def test_buffer_matches_detects_exact_order_only(self):
+        (mmu, matlb), _ = self._stack(matlb_entries=4)
+        pages = [0x10_0000 + i * 4096 for i in range(3)]
+        matlb.prewalk_pages(mmu, 0, pages)
+        assert matlb.buffer_matches(pages)
+        assert not matlb.buffer_matches(list(reversed(pages)))
+        assert not matlb.buffer_matches(pages[:2])
+
+
+# ------------------------------------------------------------- ADE parity
+def edge_tile_stream(layout: MatrixLayout):
+    """Tile stream over an awkward matrix: edge tiles, repeats, overlaps."""
+    tiles = []
+    for row in range(0, layout.rows, 48):
+        rows = min(48, layout.rows - row)
+        for k in range(0, layout.cols, 48):
+            cols = min(48, layout.cols - k)
+            tiles.append((row, rows, k, cols))
+    # Re-visit the first row block to exercise the steady-state fast path.
+    tiles += tiles[: len(tiles) // 2]
+    return tiles
+
+
+class TestADETileTranslationParity:
+    @pytest.mark.parametrize("prediction", [True, False])
+    @pytest.mark.parametrize("stride,rows,cols,eb,matlb_entries", [
+        (1000, 200, 1000, 8, 64),    # non-power-of-two stride, fp64
+        (1024, 200, 1024, 4, 64),    # page-per-row fp32 (the BERT regime)
+        (80, 150, 80, 4, 8),         # tiny rows sharing pages, small mATLB
+    ])
+    def test_tile_stream_parity(self, prediction, stride, rows, cols, eb, matlb_entries):
+        space = make_space(pages=(rows * stride * eb) // 4096 + 2)
+        layout = MatrixLayout(0x10_0000, rows, cols, stride, eb)
+        tiles = edge_tile_stream(layout)
+
+        def run(batched):
+            mmu = MMU()
+            mmu.register_page_table(space.page_table)
+            ade = AcceleratorDataEngine(matlb=MATLB(entries=matlb_entries))
+            translate = ade.translate_tile_batch if batched else ade.translate_tile
+            stalls = [
+                translate(mmu, 0, layout, (row, tile_rows), (k, depth), prediction)
+                for row, tile_rows, k, depth in tiles
+            ]
+            return stalls, mmu, ade
+
+        scalar_stalls, mmu_s, ade_s = run(batched=False)
+        batch_stalls, mmu_b, ade_b = run(batched=True)
+        assert batch_stalls == scalar_stalls
+        assert matlb_state(ade_s.matlb) == matlb_state(ade_b.matlb)
+        assert mmu_state(mmu_s) == mmu_state(mmu_b)
+        assert ade_s.translation_stall_cycles == ade_b.translation_stall_cycles
+        assert ade_s.demand_translations == ade_b.demand_translations
+
+    def test_demand_page_fault_parity(self):
+        """Unmapped pages on the demand path fault identically in both paths."""
+        space = make_space(pages=4)
+        layout = MatrixLayout(0x10_0000, 16, 1024, 1024, 8)  # needs 32 pages; 4 mapped
+
+        def run(batched):
+            mmu = MMU()
+            mmu.register_page_table(space.page_table)
+            ade = AcceleratorDataEngine(matlb=MATLB(entries=64))
+            translate = ade.translate_tile_batch if batched else ade.translate_tile
+            with pytest.raises(PageFaultError) as excinfo:
+                translate(mmu, 0, layout, (0, 16), (0, 1024), False)
+            return excinfo.value.vaddr, mmu, ade
+
+        scalar_vaddr, mmu_s, ade_s = run(batched=False)
+        batch_vaddr, mmu_b, ade_b = run(batched=True)
+        assert batch_vaddr == scalar_vaddr
+        assert mmu_state(mmu_s) == mmu_state(mmu_b)
+        assert matlb_state(ade_s.matlb) == matlb_state(ade_b.matlb)
+        assert ade_s.demand_translations == ade_b.demand_translations
+        assert ade_s.translation_stall_cycles == ade_b.translation_stall_cycles
+
+    @pytest.mark.parametrize("prediction", [True, False])
+    def test_demand_fault_mid_stream_preserves_partial_state(self, prediction):
+        """Stats/LRU stop at the faulting page exactly as the scalar loop's do."""
+        space = make_space(pages=20)
+        layout = MatrixLayout(0x10_0000, 40, 1024, 1024, 8)  # 80 pages; 20 mapped
+
+        def run(batched):
+            mmu = MMU()
+            mmu.register_page_table(space.page_table)
+            ade = AcceleratorDataEngine(matlb=MATLB(entries=8))
+            translate = ade.translate_tile_batch if batched else ade.translate_tile
+            translate(mmu, 0, layout, (0, 8), (0, 1024), prediction)  # mapped tile
+            with pytest.raises(PageFaultError) as excinfo:
+                translate(mmu, 0, layout, (8, 16), (0, 1024), prediction)
+            return excinfo.value.vaddr, mmu, ade
+
+        scalar_vaddr, mmu_s, ade_s = run(batched=False)
+        batch_vaddr, mmu_b, ade_b = run(batched=True)
+        assert batch_vaddr == scalar_vaddr
+        assert mmu_state(mmu_s) == mmu_state(mmu_b)
+        assert matlb_state(ade_s.matlb) == matlb_state(ade_b.matlb)
+        assert ade_s.demand_translations == ade_b.demand_translations
+        assert ade_s.translation_stall_cycles == ade_b.translation_stall_cycles
+
+
+# --------------------------------------------------------- emulator parity
+class TestEmulatorParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 8),
+        tr=st.integers(1, 40),
+        seed=st.integers(0, 2**16),
+    )
+    def test_bit_identical_outputs_and_cycles(self, rows, cols, tr, seed):
+        rng = np.random.default_rng(seed)
+        a_block = rng.standard_normal((tr, rows))
+        b_block = rng.standard_normal((rows, cols))
+        scalar = SystolicArrayEmulator(rows=rows, cols=cols).run_block(a_block, b_block)
+        vector = VectorizedSystolicArrayEmulator(rows=rows, cols=cols).run_block(a_block, b_block)
+        assert np.array_equal(scalar.output, vector.output)  # bitwise, not approx
+        assert scalar.cycles == vector.cycles
+        assert scalar.macs == vector.macs
+
+    def test_validation_matches_scalar(self):
+        vector = VectorizedSystolicArrayEmulator(rows=4, cols=4)
+        with pytest.raises(ValueError):
+            vector.run_block(np.zeros((4, 3)), np.zeros((4, 4)))
+        with pytest.raises(NotImplementedError):
+            VectorizedSystolicArrayEmulator(precision=Precision.FP32).run_block(
+                np.zeros((4, 4)), np.zeros((4, 4))
+            )
+
+    def test_mac_activity_counter_matches_scalar_pes(self):
+        rng = np.random.default_rng(3)
+        scalar = SystolicArrayEmulator(rows=4, cols=4)
+        vector = VectorizedSystolicArrayEmulator(rows=4, cols=4)
+        a_block = rng.standard_normal((9, 4))
+        b_block = rng.standard_normal((4, 4))
+        scalar.run_block(a_block, b_block)
+        vector.run_block(a_block, b_block)
+        scalar_macs = sum(pe.macs_performed for row in scalar.pes for pe in row)
+        assert vector.macs_performed == scalar_macs
+
+
+# -------------------------------------------------- satellite micro-behaviour
+class TestTileCyclesMemo:
+    def test_memoized_value_matches_and_caches(self):
+        array = SystolicArray(4, 4)
+        first = array.tile_cycles(64, 64, 64, Precision.FP32)
+        assert (64, 64, 64, Precision.FP32) in array._tile_cycles_cache
+        assert array.tile_cycles(64, 64, 64, Precision.FP32) == first
+
+    def test_invalid_tile_still_rejected(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError):
+            array.tile_cycles(0, 64, 64)
+        with pytest.raises(ValueError):
+            array.tile_cycles(0, 64, 64)  # and again: the error is not cached
+
+
+class TestEventSlots:
+    def test_event_has_no_dict(self):
+        from repro.sim.event import EventQueue
+
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        with pytest.raises(AttributeError):
+            event.__dict__
+        with pytest.raises(AttributeError):
+            event.extra_attribute = 1
+
+    def test_heap_entries_are_tuples(self):
+        from repro.sim.event import EventQueue
+
+        queue = EventQueue()
+        queue.push(2.0, lambda: None)
+        queue.push(1.0, lambda: None, priority=3)
+        entry = queue._heap[0]
+        assert isinstance(entry, tuple) and entry[0] == 1.0 and entry[1] == 3
+        assert queue.pop().time == 1.0
