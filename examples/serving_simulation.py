@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-tenant serving walkthrough: one trace, three scheduling policies.
+
+Builds a bursty three-tenant trace sized for ~70% fleet utilization, runs it
+through FCFS, shortest-job-first and round-robin dispatch on the same 8-node
+MACO fleet, and compares the tail latencies each tenant sees — then verifies
+the dispatch plumbing functionally by pushing a few small GEMMs through the
+MPAIS async path (MA_CFG / MA_READ / MA_STATE).
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_simulation.py
+"""
+
+from repro.analysis import render_table
+from repro.core import MACOSystem, maco_default_config
+from repro.serve import ServeSimulator, bursty_trace, default_tenants
+
+NODES = 8
+SEED = 7
+
+
+def main() -> None:
+    config = maco_default_config(num_nodes=NODES)
+
+    # Size per-tenant arrival rates off the analytic service estimates, then
+    # generate one shared trace so every policy sees identical arrivals.
+    sizing = ServeSimulator(config=config)
+    # Slight overload (110% of fleet capacity): queues actually form, so
+    # the dispatch policy changes what each tenant experiences.
+    tenants = sizing.suggest_rates(default_tenants(3), utilization=1.1)
+    duration = 150 / sum(spec.rate_rps for spec in tenants)  # ~150 requests
+    trace = bursty_trace(tenants, duration, seed=SEED, burst_factor=8.0)
+    print(f"trace: {len(trace)} requests from {len(trace.tenants)} tenants "
+          f"over {trace.duration_s:.1f} s (bursty arrivals, seed {SEED})\n")
+
+    reports = {}
+    for policy in ("fcfs", "sjf", "rr"):
+        simulator = ServeSimulator(config=config, scheduler=policy)
+        reports[policy] = simulator.run(trace)
+
+    rows = []
+    for policy, report in reports.items():
+        rows.append([
+            policy,
+            f"{report.throughput_rps:.2f}",
+            f"{report.latency_p50_s * 1e3:.0f}",
+            f"{report.latency_p99_s * 1e3:.0f}",
+            f"{report.mean_utilization * 100:.1f}%",
+            f"{report.queue_depth_mean:.2f}",
+            sum(node.tenant_switches for node in report.nodes),
+        ])
+    print(render_table(
+        ["policy", "req/s", "p50 (ms)", "p99 (ms)", "utilization", "mean queue", "switches"],
+        rows, title="Same trace, three dispatch policies"))
+
+    fcfs, sjf = reports["fcfs"], reports["sjf"]
+    print(f"\nSJF shifts the tail: fleet p50 {sjf.latency_p50_s * 1e3:.0f} ms vs "
+          f"{fcfs.latency_p50_s * 1e3:.0f} ms under FCFS (short requests jump the queue), "
+          f"while p99 belongs to the long-model tenant either way.")
+
+    # Functional cross-check on a fresh system: the same dispatch path drives
+    # real MPAIS submissions and the results are compared against NumPy.
+    smoke = ServeSimulator(system=MACOSystem(maco_default_config(num_nodes=2)))
+    verified = smoke.functional_smoke(trace, size=48, max_requests=4)
+    print(f"\nfunctional smoke: {verified} GEMMs verified through the MPAIS async path")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,15 @@ from repro.analysis.efficiency import (
     average_gap,
     summarize_scalability,
 )
-from repro.analysis.reporting import render_table, render_series, render_csv, format_gflops, format_percent
+from repro.analysis.reporting import (
+    render_table,
+    render_series,
+    render_csv,
+    format_gflops,
+    format_percent,
+    latency_summary,
+    percentile,
+)
 from repro.analysis.roofline import Roofline, RooflinePoint, node_roofline, place_gemm, roofline_sweep
 from repro.analysis.energy import EnergyBreakdown, EnergyModel, PowerParameters
 
@@ -42,4 +50,6 @@ __all__ = [
     "render_csv",
     "format_gflops",
     "format_percent",
+    "latency_summary",
+    "percentile",
 ]

@@ -10,7 +10,36 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in 0..100).
+
+    Nearest-rank (rather than interpolating) keeps the result an element of
+    the sample and is monotone in ``q``, so p99 >= p95 >= p50 holds by
+    construction — the property the serving report's regression tests rely on.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in 0..100, got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot take a percentile of an empty sample")
+    rank = max(1, math.ceil(q / 100.0 * len(data)))
+    return data[rank - 1]
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean plus the p50/p95/p99 nearest-rank percentiles of a latency sample."""
+    if not values:
+        raise ValueError("cannot summarise an empty latency sample")
+    return {
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+    }
 
 
 def format_percent(value: float, digits: int = 1) -> str:

@@ -8,12 +8,13 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli table4               # CPU vs MMAE area/power table
     python -m repro.cli gemm --size 4096 --nodes 8 --precision fp64
     python -m repro.cli explore --sample lhs --points 200 --jobs 4 --format csv
+    python -m repro.cli serve --trace poisson --tenants 3 --seed 7
 
 The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
 matches the rows recorded in EXPERIMENTS.md.  The sweep-shaped commands
-(``fig6``, ``fig7``, ``fig8``, ``explore``) accept ``--jobs N`` to fan the
-independent evaluations out over a worker pool; the small fixed figure sweeps
-default to serial, while ``explore`` defaults to all CPU cores.
+(``fig6``, ``fig7``, ``fig8``, ``explore``, ``serve``) accept ``--jobs N`` to
+fan the independent evaluations out over a worker pool; the small fixed figure
+sweeps default to serial, while ``explore`` defaults to all CPU cores.
 """
 
 from __future__ import annotations
@@ -189,6 +190,61 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ServeSimulator,
+        bursty_trace,
+        default_tenants,
+        poisson_trace,
+        replay_trace,
+    )
+
+    config = maco_default_config(num_nodes=args.nodes)
+    simulator = ServeSimulator(system=MACOSystem(config), scheduler=args.scheduler,
+                               jobs=args.jobs)
+    precision = Precision.from_string(args.precision)
+    if args.trace == "replay":
+        if not args.trace_file:
+            raise ValueError("--trace replay requires --trace-file")
+        parser_defaults = {"tenants": 3, "requests": 200, "rate": None,
+                           "utilization": 0.7, "burst_factor": 8.0, "precision": "fp32"}
+        ignored = [f"--{name.replace('_', '-')}" for name, default in parser_defaults.items()
+                   if getattr(args, name) != default]
+        if ignored:
+            print(f"warning: replayed traces carry their own arrivals and precision; "
+                  f"ignoring {', '.join(ignored)}", file=sys.stderr)
+        trace = replay_trace(args.trace_file)
+    else:
+        if args.requests < 1:
+            raise ValueError(f"request target must be >= 1, got {args.requests}")
+        specs = default_tenants(args.tenants)
+        if args.rate is not None:
+            specs = [spec.with_rate(args.rate) for spec in specs]
+        else:
+            specs = simulator.suggest_rates(specs, utilization=args.utilization,
+                                            precision=precision)
+        duration = args.requests / sum(spec.rate_rps for spec in specs)
+        if args.trace == "bursty":
+            trace = bursty_trace(specs, duration, seed=args.seed, precision=precision,
+                                 burst_factor=args.burst_factor)
+        else:
+            trace = poisson_trace(specs, duration, seed=args.seed, precision=precision)
+
+    report = simulator.run(trace)
+    if args.functional_smoke:
+        verified = simulator.functional_smoke(trace)
+        print(f"functional smoke: {verified} GEMMs verified through the MPAIS async path",
+              file=sys.stderr)
+    text = report.to_json() if args.format == "json" else report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote serve report for {report.total_requests} requests to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_table4(args: argparse.Namespace) -> int:
     comparison = compare_cpu_mmae()
     print(render_table(
@@ -272,6 +328,38 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--output", default=None,
                          help="write the rendered output to this file instead of stdout")
     explore.set_defaults(handler=_cmd_explore)
+
+    serve = subparsers.add_parser(
+        "serve", help="trace-driven multi-tenant inference serving simulation")
+    serve.add_argument("--trace", default="poisson", choices=["poisson", "bursty", "replay"],
+                       help="arrival process, or replay a recorded JSON trace")
+    serve.add_argument("--trace-file", default=None,
+                       help="JSON arrival records for --trace replay")
+    serve.add_argument("--tenants", type=int, default=3,
+                       help="tenant count for generated traces")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="target total request count for generated traces")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant mean arrival rate in req/s "
+                            "(default: sized for --utilization)")
+    serve.add_argument("--utilization", type=float, default=0.7,
+                       help="target fleet utilization used to size the default rate")
+    serve.add_argument("--burst-factor", type=float, default=8.0,
+                       help="burst rate multiplier for --trace bursty")
+    serve.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sjf", "rr"],
+                       help="dispatch policy")
+    serve.add_argument("--nodes", type=int, default=8, help="compute nodes in the fleet")
+    serve.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
+    serve.add_argument("--seed", type=int, default=0, help="trace generation seed")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for service-time estimation "
+                            "(the event loop is always serial; default: serial)")
+    serve.add_argument("--format", default="table", choices=["table", "json"])
+    serve.add_argument("--output", default=None,
+                       help="write the report to this file instead of stdout")
+    serve.add_argument("--functional-smoke", action="store_true",
+                       help="also verify a few small GEMMs through the MPAIS async path")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -6,7 +6,11 @@ packages.  Typical entry points:
 * :func:`maco_default_config` / :class:`MACOConfig` — configure a system;
 * :class:`MACOSystem` — run GEMMs, scalability sweeps and DL workloads;
 * :class:`MACORuntime` — the NumPy-level software API over MPAIS;
-* :mod:`repro.core.perf` — the per-node performance model used by the sweeps.
+* :mod:`repro.core.perf` — the per-node performance model used by the sweeps;
+* :class:`SweepRunner` / :class:`DesignSpaceExplorer` — parallel, cached
+  sweep and design-space campaigns (``repro.cli explore``);
+* :mod:`repro.serve` builds on all of the above for multi-tenant serving
+  scenarios (``repro.cli serve``).
 """
 
 from repro.core.config import (
@@ -42,9 +46,11 @@ from repro.core.perf import (
     estimate_node_gemm,
     estimate_node_gemm_cached,
     memory_environment,
+    noc_contention_model,
     node_peak_gflops,
     sweep_prediction,
     sweep_scalability,
+    unmapped_memory_environment,
 )
 from repro.core.runtime import MACORuntime, AsyncHandle
 from repro.core.batch import SweepRunner
@@ -88,9 +94,11 @@ __all__ = [
     "estimate_node_gemm",
     "estimate_node_gemm_cached",
     "memory_environment",
+    "noc_contention_model",
     "node_peak_gflops",
     "sweep_prediction",
     "sweep_scalability",
+    "unmapped_memory_environment",
     "MACORuntime",
     "AsyncHandle",
 ]

@@ -39,10 +39,12 @@ class GEMMSubmission:
 
     @property
     def completed(self) -> bool:
+        """True once MA_STATE has observed the task done."""
         return self.status is not None and self.status.done
 
     @property
     def exception(self) -> ExceptionType:
+        """The task's exception outcome (NONE when it completed cleanly)."""
         if self.result is not None:
             return self.result.exception
         if self.status is not None:
@@ -196,6 +198,7 @@ class ComputeNode:
     # ------------------------------------------------------------------- helpers
     @property
     def mmae_peak_gflops_fp64(self) -> float:
+        """This node's MMAE FP64 peak throughput."""
         return self.config.mmae.peak_gflops_fp64
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -46,6 +46,7 @@ class CPUConfig:
 
     @property
     def frequency_ghz(self) -> float:
+        """Core clock in GHz."""
         return self.frequency_hz / 1e9
 
     @property
@@ -55,6 +56,7 @@ class CPUConfig:
 
     @property
     def peak_gflops_fp32(self) -> float:
+        """FP32 peak: twice the FP64 rate (each lane splits in two)."""
         return 2.0 * self.peak_gflops_fp64
 
 
@@ -80,6 +82,7 @@ class MMAEConfig:
 
     @property
     def frequency_ghz(self) -> float:
+        """MMAE clock in GHz."""
         return self.frequency_hz / 1e9
 
     @property
@@ -89,18 +92,22 @@ class MMAEConfig:
 
     @property
     def total_buffer_bytes(self) -> int:
+        """Combined capacity of the A/B/C scratchpad buffers."""
         return self.a_buffer_bytes + self.b_buffer_bytes + self.c_buffer_bytes
 
     @property
     def peak_gflops_fp64(self) -> float:
+        """Theoretical FP64 peak: 2 x freq x systolic MAC lanes."""
         return 2.0 * self.frequency_ghz * self.fmac_lanes
 
     @property
     def peak_gflops_fp32(self) -> float:
+        """FP32 peak: twice the FP64 rate."""
         return 2.0 * self.peak_gflops_fp64
 
     @property
     def peak_gflops_fp16(self) -> float:
+        """FP16 peak: four times the FP64 rate."""
         return 4.0 * self.peak_gflops_fp64
 
     def timing_parameters(self) -> MMAETimingParameters:
@@ -136,6 +143,7 @@ class MemoryConfig:
 
     @property
     def l3_total_bytes(self) -> int:
+        """Total distributed L3 capacity across all slices."""
         return self.l3_slice_bytes * self.l3_slices
 
 
@@ -176,9 +184,11 @@ class MACOConfig:
         return replace(self, num_nodes=num_nodes)
 
     def with_prediction(self, enabled: bool) -> "MACOConfig":
+        """Copy of this config with predictive address translation toggled."""
         return replace(self, prediction_enabled=enabled)
 
     def with_mapping(self, enabled: bool) -> "MACOConfig":
+        """Copy of this config with the stash/lock mapping scheme toggled."""
         return replace(self, mapping_scheme_enabled=enabled)
 
 

@@ -14,7 +14,6 @@ three execution entry points matching the paper's experiments:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.compute_node import ComputeNode
@@ -26,6 +25,7 @@ from repro.core.perf import (
     estimate_node_gemm_cached,
     memory_environment,
     node_peak_gflops,
+    unmapped_memory_environment,
 )
 from repro.gemm.precision import Precision
 from repro.gemm.workloads import GEMMShape, GEMMWorkload
@@ -58,9 +58,11 @@ class MACOSystem:
     # --------------------------------------------------------------------- peaks
     @property
     def num_nodes(self) -> int:
+        """Number of compute nodes in this system."""
         return self.config.num_nodes
 
     def peak_gflops(self, precision: Precision, num_nodes: Optional[int] = None) -> float:
+        """Aggregate MMAE peak of ``num_nodes`` nodes (default: all) at a precision."""
         nodes = num_nodes if num_nodes is not None else self.num_nodes
         return node_peak_gflops(self.config, precision) * nodes
 
@@ -163,11 +165,7 @@ class MACOSystem:
 
         env = memory_environment(self.config, nodes)
         if not mapping_enabled:
-            # Without stash/lock the working set is not pinned: demand traffic
-            # competes with every other node's streams, so the effective
-            # resident share collapses to a small fraction and more of the
-            # re-read traffic spills to DRAM.
-            env = replace(env, l3_share_bytes=max(env.l3_share_bytes * 0.125, 64 * 1024))
+            env = unmapped_memory_environment(env)
 
         # The per-layer timings run through the memoized timing cache: a column
         # partition yields at most two distinct sub-shapes per layer, and DL

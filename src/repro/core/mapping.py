@@ -40,6 +40,7 @@ class NodeAssignment:
 
     @property
     def extent(self) -> int:
+        """Number of columns (or rows) this node covers."""
         return self.end - self.start
 
 
@@ -55,6 +56,7 @@ class MappingPlan:
 
     @property
     def num_nodes(self) -> int:
+        """Nodes that actually received work (can be fewer than requested)."""
         return len(self.assignments)
 
     @property
@@ -74,6 +76,7 @@ class MappingPlan:
         return cursor == target
 
     def total_assigned_flops(self) -> int:
+        """FLOPs across all assignments (equals the source shape's FLOPs)."""
         return sum(assignment.shape.flops for assignment in self.assignments)
 
 
@@ -152,6 +155,7 @@ class GemmPlusSchedule:
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end workload time under the overlap model."""
         if self.mapping_enabled:
             hidden_cpu = self.cpu_seconds * (1.0 - self.exposed_tail_fraction)
             exposed_cpu = self.cpu_seconds * self.exposed_tail_fraction

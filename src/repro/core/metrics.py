@@ -21,6 +21,7 @@ class NodeResult:
 
     @property
     def gflops(self) -> float:
+        """Achieved throughput of this node's share of the work."""
         return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
 
 
@@ -38,10 +39,12 @@ class SystemResult:
 
     @property
     def gflops(self) -> float:
+        """Aggregate achieved throughput across the active nodes."""
         return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
 
     @property
     def tflops(self) -> float:
+        """Aggregate achieved throughput in TFLOPS."""
         return self.gflops / 1e3
 
     @property
@@ -81,10 +84,12 @@ class WorkloadResult:
 
     @property
     def tflops(self) -> float:
+        """GEMM throughput in TFLOPS."""
         return self.gflops / 1e3
 
     @property
     def efficiency(self) -> float:
+        """Achieved fraction of the aggregate MMAE peak on the GEMM FLOPs."""
         return self.gflops / self.peak_gflops if self.peak_gflops else 0.0
 
 

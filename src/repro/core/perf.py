@@ -55,6 +55,20 @@ def memory_environment(config: MACOConfig, active_nodes: int) -> MemoryEnvironme
     )
 
 
+def unmapped_memory_environment(env: MemoryEnvironment) -> MemoryEnvironment:
+    """Degrade ``env`` for runs without the stash/lock mapping scheme.
+
+    Without stash/lock the working set is not pinned: demand traffic competes
+    with every other node's streams, so the effective resident L3 share
+    collapses to a small fraction (floor 64 KiB) and more of the re-read
+    traffic spills to DRAM.  Shared by :meth:`MACOSystem.run_workload` and the
+    serving simulator so the degradation model stays calibrated in one place.
+    """
+    from dataclasses import replace
+
+    return replace(env, l3_share_bytes=max(env.l3_share_bytes * 0.125, 64 * 1024))
+
+
 def estimate_node_gemm(
     config: MACOConfig,
     shape: GEMMShape,
@@ -116,10 +130,12 @@ class TimingCache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of estimates served from the cache since the last clear."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
         self._store.clear()
         self.hits = 0
         self.misses = 0

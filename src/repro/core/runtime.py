@@ -117,4 +117,5 @@ class MACORuntime:
         node.executor.execute_program(assemble_program("MA_CLEAR X1"))
 
     def outstanding_tasks(self, node_id: int = 0) -> int:
+        """Number of MTQ entries still occupied on ``node_id``."""
         return self.system.node(node_id).cpu.mtq.outstanding_tasks()

@@ -54,7 +54,12 @@ class HostMemory:
         self._regions[base_vaddr] = new_region
 
     def unregister(self, base_vaddr: int) -> None:
+        """Drop the region registered at ``base_vaddr`` (no-op if absent)."""
         self._regions.pop(base_vaddr, None)
+
+    def registered_bases(self) -> list:
+        """Base virtual addresses of all registered regions, sorted."""
+        return sorted(self._regions)
 
     def matrix_at(self, base_vaddr: int) -> np.ndarray:
         """Return the array registered exactly at ``base_vaddr``."""

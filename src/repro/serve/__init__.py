@@ -1,0 +1,67 @@
+"""Trace-driven multi-tenant inference serving on the MACO model.
+
+This package layers a request-level serving simulator over the system timing
+model: :mod:`repro.serve.trace` generates or replays tenant request arrivals,
+:mod:`repro.serve.scheduler` provides the dispatch policies (FCFS, SJF,
+round-robin per tenant), :mod:`repro.serve.simulator` runs the discrete-event
+loop against a :class:`~repro.core.maco.MACOSystem`, and
+:mod:`repro.serve.report` aggregates per-tenant and fleet-wide throughput,
+utilization, queue depth and p50/p95/p99 latency.
+
+Typical use (also exposed as ``python -m repro.cli serve``)::
+
+    from repro.serve import ServeSimulator, default_tenants, poisson_trace
+
+    sim = ServeSimulator(scheduler="rr")
+    tenants = sim.suggest_rates(default_tenants(3))
+    trace = poisson_trace(tenants, duration_s=2.0, seed=7)
+    report = sim.run(trace)
+    print(report.render())
+"""
+
+from repro.serve.report import NodeStats, ServeReport, TenantStats, build_report
+from repro.serve.scheduler import (
+    SCHEDULER_NAMES,
+    FCFSScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SJFScheduler,
+    scheduler_by_name,
+)
+from repro.serve.simulator import (
+    TENANT_SWITCH_FLUSH_CYCLES,
+    ServeSimulator,
+    estimate_service_seconds,
+)
+from repro.serve.trace import (
+    Request,
+    RequestTrace,
+    TenantSpec,
+    bursty_trace,
+    default_tenants,
+    poisson_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "Request",
+    "RequestTrace",
+    "TenantSpec",
+    "default_tenants",
+    "poisson_trace",
+    "bursty_trace",
+    "replay_trace",
+    "Scheduler",
+    "FCFSScheduler",
+    "SJFScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULER_NAMES",
+    "scheduler_by_name",
+    "ServeSimulator",
+    "estimate_service_seconds",
+    "TENANT_SWITCH_FLUSH_CYCLES",
+    "TenantStats",
+    "NodeStats",
+    "ServeReport",
+    "build_report",
+]

@@ -1,0 +1,177 @@
+"""Aggregated results of a serving simulation.
+
+:class:`ServeReport` is the single artefact a simulation run produces: fleet
+throughput and tail latency, per-tenant and per-node breakdowns, queueing and
+context-switch statistics.  It renders as aligned ASCII tables (for eyeballs
+and diffs) or a stable JSON document (``to_json`` sorts keys, so two runs with
+the same seed produce byte-identical output — the determinism tests compare
+these strings directly).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import latency_summary, render_table
+
+__all__ = ["TenantStats", "NodeStats", "ServeReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Per-tenant serving outcome: request counts, throughput, tail latency."""
+
+    name: str
+    requests: int
+    throughput_rps: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    wait_mean_s: float
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-node serving outcome: completions, utilization, tenant switches."""
+
+    node_id: int
+    completed: int
+    busy_s: float
+    utilization: float
+    tenant_switches: int
+    switch_s: float
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything a serving simulation measured, in one frozen record."""
+
+    trace: str
+    scheduler: str
+    num_nodes: int
+    total_requests: int
+    makespan_s: float
+    throughput_rps: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    queue_depth_mean: float
+    queue_depth_max: int
+    context_switch_s: float
+    tenants: List[TenantStats] = field(default_factory=list)
+    nodes: List[NodeStats] = field(default_factory=list)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average busy fraction across the fleet's nodes."""
+        if not self.nodes:
+            return 0.0
+        return sum(node.utilization for node in self.nodes) / len(self.nodes)
+
+    def to_dict(self) -> dict:
+        """The report as plain nested dicts/lists (JSON-able, round-trips)."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Stable JSON text: sorted keys, so identical runs compare equal."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Render the report as ASCII tables plus a fleet summary line."""
+        def ms(seconds: float) -> str:
+            return f"{seconds * 1e3:.2f}"
+
+        tenant_rows = [
+            [stats.name, stats.requests, f"{stats.throughput_rps:.2f}",
+             ms(stats.latency_p50_s), ms(stats.latency_p95_s), ms(stats.latency_p99_s),
+             ms(stats.wait_mean_s)]
+            for stats in self.tenants
+        ]
+        node_rows = [
+            [stats.node_id, stats.completed, f"{stats.busy_s * 1e3:.1f}",
+             f"{stats.utilization * 100:.1f}%", stats.tenant_switches]
+            for stats in self.nodes
+        ]
+        sections = [
+            f"Serve report - {self.scheduler} scheduler, trace {self.trace}: "
+            f"{self.total_requests} requests on {self.num_nodes} nodes "
+            f"in {self.makespan_s:.3f} s ({self.throughput_rps:.2f} req/s)",
+            render_table(
+                ["tenant", "requests", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean wait (ms)"],
+                tenant_rows, title="Per-tenant latency and throughput"),
+            render_table(
+                ["node", "completed", "busy (ms)", "utilization", "tenant switches"],
+                node_rows, title="Per-node utilization"),
+            (f"fleet: p50 {ms(self.latency_p50_s)} ms, p95 {ms(self.latency_p95_s)} ms, "
+             f"p99 {ms(self.latency_p99_s)} ms | mean utilization "
+             f"{self.mean_utilization * 100:.1f}% | queue depth mean {self.queue_depth_mean:.2f} "
+             f"max {self.queue_depth_max} | context-switch time {self.context_switch_s * 1e3:.3f} ms"),
+        ]
+        return "\n\n".join(sections)
+
+
+def build_report(
+    trace_name: str,
+    scheduler_name: str,
+    num_nodes: int,
+    completions: Sequence[dict],
+    node_stats: Sequence[NodeStats],
+    queue_depth_mean: float,
+    queue_depth_max: int,
+) -> ServeReport:
+    """Assemble a :class:`ServeReport` from raw per-request completion records.
+
+    ``completions`` entries carry ``tenant``, ``arrival_s``, ``start_s``,
+    ``finish_s`` and ``switch_s``; latency is ``finish - arrival`` and wait is
+    ``start - arrival``.  The makespan is the last finish time, and every
+    throughput figure divides by it, so per-tenant throughputs sum exactly to
+    the fleet throughput.
+    """
+    makespan = max((entry["finish_s"] for entry in completions), default=0.0)
+    latencies = [entry["finish_s"] - entry["arrival_s"] for entry in completions]
+    by_tenant: Dict[str, List[dict]] = {}
+    for entry in completions:
+        by_tenant.setdefault(entry["tenant"], []).append(entry)
+
+    tenants = []
+    for name in sorted(by_tenant):
+        entries = by_tenant[name]
+        tenant_latencies = [entry["finish_s"] - entry["arrival_s"] for entry in entries]
+        waits = [entry["start_s"] - entry["arrival_s"] for entry in entries]
+        summary = latency_summary(tenant_latencies)
+        tenants.append(TenantStats(
+            name=name,
+            requests=len(entries),
+            throughput_rps=len(entries) / makespan if makespan else 0.0,
+            latency_mean_s=summary["mean"],
+            latency_p50_s=summary["p50"],
+            latency_p95_s=summary["p95"],
+            latency_p99_s=summary["p99"],
+            wait_mean_s=sum(waits) / len(waits),
+        ))
+
+    if latencies:
+        fleet = latency_summary(latencies)
+    else:
+        fleet = {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return ServeReport(
+        trace=trace_name,
+        scheduler=scheduler_name,
+        num_nodes=num_nodes,
+        total_requests=len(completions),
+        makespan_s=makespan,
+        throughput_rps=len(completions) / makespan if makespan else 0.0,
+        latency_mean_s=fleet["mean"],
+        latency_p50_s=fleet["p50"],
+        latency_p95_s=fleet["p95"],
+        latency_p99_s=fleet["p99"],
+        queue_depth_mean=queue_depth_mean,
+        queue_depth_max=queue_depth_max,
+        context_switch_s=sum(node.switch_s for node in node_stats),
+        tenants=tenants,
+        nodes=list(node_stats),
+    )

@@ -1,0 +1,158 @@
+"""Dispatch policies for the serving simulator.
+
+A scheduler owns the ready queue between request arrival and dispatch onto a
+compute node.  Three non-preemptive policies are provided:
+
+* :class:`FCFSScheduler` — first come, first served (arrival order);
+* :class:`SJFScheduler` — shortest estimated job first, using the analytic
+  per-request service-time estimate;
+* :class:`RoundRobinScheduler` — one FIFO queue per tenant, served cyclically
+  in first-seen tenant order, so no tenant can starve the others.
+
+All policies break ties on ``(arrival time, request id)``, which makes every
+pop — and therefore the whole simulation — deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.serve.trace import Request
+
+__all__ = [
+    "Scheduler",
+    "FCFSScheduler",
+    "SJFScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULER_NAMES",
+    "scheduler_by_name",
+]
+
+
+class Scheduler:
+    """Base class: a queue of ready requests with a policy-defined pop order."""
+
+    #: Policy name used by the CLI and the report.
+    name = "base"
+
+    def push(self, request: Request) -> None:
+        """Admit an arrived request into the ready queue."""
+        raise NotImplementedError
+
+    def pop(self) -> Request:
+        """Remove and return the next request to dispatch."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FCFSScheduler(Scheduler):
+    """First come, first served: dispatch in arrival order."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Request]] = []
+
+    def push(self, request: Request) -> None:
+        heapq.heappush(self._heap, (request.arrival_s, request.request_id, request))
+
+    def pop(self) -> Request:
+        if not self._heap:
+            raise IndexError("pop from an empty scheduler")
+        return heapq.heappop(self._heap)[-1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class SJFScheduler(Scheduler):
+    """Shortest (estimated) job first.
+
+    ``estimator`` maps a request to its estimated service seconds; the queue
+    orders by ``(service estimate, arrival, id)``.  Non-preemptive: a long
+    request already running is never displaced.
+    """
+
+    name = "sjf"
+
+    def __init__(self, estimator: Callable[[Request], float]) -> None:
+        self._estimator = estimator
+        self._heap: List[Tuple[float, float, int, Request]] = []
+
+    def push(self, request: Request) -> None:
+        estimate = self._estimator(request)
+        heapq.heappush(self._heap, (estimate, request.arrival_s, request.request_id, request))
+
+    def pop(self) -> Request:
+        if not self._heap:
+            raise IndexError("pop from an empty scheduler")
+        return heapq.heappop(self._heap)[-1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Round robin across tenants: per-tenant FIFO queues served cyclically.
+
+    Tenants enter the rotation in first-seen order; empty queues are skipped.
+    This is the fairness policy: one chatty tenant cannot monopolise the
+    fleet, it only drains its own queue faster than it fills.
+    """
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._queues: "OrderedDict[str, Deque[Request]]" = OrderedDict()
+        self._rotation: List[str] = []
+        self._cursor = 0
+        self._size = 0
+
+    def push(self, request: Request) -> None:
+        if request.tenant not in self._queues:
+            self._queues[request.tenant] = deque()
+            self._rotation.append(request.tenant)
+        self._queues[request.tenant].append(request)
+        self._size += 1
+
+    def pop(self) -> Request:
+        if self._size == 0:
+            raise IndexError("pop from an empty scheduler")
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._rotation)
+            queue = self._queues[tenant]
+            if queue:
+                self._size -= 1
+                return queue.popleft()
+        raise AssertionError("size bookkeeping out of sync")  # pragma: no cover
+
+    def __len__(self) -> int:
+        return self._size
+
+
+#: CLI-facing policy names in the order they are documented.
+SCHEDULER_NAMES = ("fcfs", "sjf", "rr")
+
+
+def scheduler_by_name(
+    name: str, estimator: Optional[Callable[[Request], float]] = None
+) -> Scheduler:
+    """Build a scheduler by policy name (``fcfs``, ``sjf``, ``rr``).
+
+    ``sjf`` requires ``estimator`` (request -> estimated service seconds).
+    """
+    key = name.strip().lower()
+    if key == "fcfs":
+        return FCFSScheduler()
+    if key == "sjf":
+        if estimator is None:
+            raise ValueError("the sjf policy needs a service-time estimator")
+        return SJFScheduler(estimator)
+    if key == "rr":
+        return RoundRobinScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; options: {list(SCHEDULER_NAMES)}")

@@ -1,0 +1,382 @@
+"""Trace-driven discrete-event simulation of a multi-tenant MACO serving fleet.
+
+:class:`ServeSimulator` composes the existing machinery into a serving
+scenario: arrivals come from a :class:`~repro.serve.trace.RequestTrace`, a
+:class:`~repro.serve.scheduler.Scheduler` policy picks the next request each
+time a node frees up, and each dispatched request occupies one
+:class:`~repro.core.maco.MACOSystem` compute node for its analytically
+estimated service time.  Tenant interleaving on a node is charged the
+:class:`~repro.cpu.process.ProcessManager` context-switch cost plus an
+ASID-flush penalty, and every timing estimate runs through the shared
+:class:`~repro.core.perf.TimingCache`, so repeated model shapes are walked
+once per process.
+
+Two fidelities coexist (see docs/ARCHITECTURE.md): the event loop itself uses
+the analytic timing model — simulating a million-request trace is cheap — and
+:meth:`ServeSimulator.functional_smoke` pushes a handful of small GEMMs
+through the real MPAIS async path (``MA_CFG``/``MA_READ``/``MA_STATE``) to
+prove the dispatch plumbing against the functional machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import SweepRunner, _task_cache
+from repro.core.config import MACOConfig, maco_default_config
+from repro.core.maco import MACOSystem
+from repro.core.mapping import partition_gemm, schedule_gemm_plus
+from repro.core.perf import (
+    TimingCache,
+    estimate_node_gemm_cached,
+    memory_environment,
+    unmapped_memory_environment,
+)
+from repro.cpu.core import CPUCore
+from repro.cpu.process import Process
+from repro.gemm.precision import Precision
+from repro.mem.dram import DRAMModel
+from repro.serve.report import NodeStats, ServeReport, build_report
+from repro.serve.scheduler import Scheduler, scheduler_by_name
+from repro.serve.trace import Request, RequestTrace, TenantSpec
+
+__all__ = [
+    "TENANT_SWITCH_FLUSH_CYCLES",
+    "estimate_service_seconds",
+    "ServeSimulator",
+]
+
+#: Extra CPU cycles charged when a node switches tenants, on top of the
+#: :class:`~repro.cpu.process.ProcessManager` register save/restore cost:
+#: the shootdown of the incoming ASID's stale entries in the 1024-entry
+#: shared L2 TLB and the mATLB invalidate (one cycle per entry, conservatively
+#: charged in the CPU clock domain).  See DESIGN.md section 7.3.
+TENANT_SWITCH_FLUSH_CYCLES = 1024
+
+
+def estimate_service_seconds(
+    config: MACOConfig,
+    workload_name: str,
+    precision: Precision,
+    active_nodes: int,
+    cache: Optional[TimingCache] = None,
+) -> float:
+    """Analytic service time of one model invocation on one compute node.
+
+    The request runs alone on its node but shares the memory system with the
+    rest of the fleet, so the per-layer GEMM estimates use the
+    ``active_nodes``-way contended :func:`~repro.core.perf.memory_environment`
+    (the steady-state worst case for a loaded fleet).  The non-GEMM tail runs
+    on the node's own CPU core and the stash prefetch traffic is charged at
+    the node's DRAM bandwidth share; the three components combine through the
+    same :func:`~repro.core.mapping.schedule_gemm_plus` overlap model as
+    :meth:`~repro.core.maco.MACOSystem.run_workload`.
+    """
+    from repro.workloads.registry import workload_by_name
+
+    workload = workload_by_name(workload_name, precision)
+    env = memory_environment(config, active_nodes)
+    if not config.mapping_scheme_enabled:
+        env = unmapped_memory_environment(env)
+    gemm_seconds = 0.0
+    stash_bytes = 0
+    for shape in workload:
+        timing = estimate_node_gemm_cached(
+            config, shape, active_nodes=active_nodes, env=env, cache=cache,
+        )
+        gemm_seconds += timing.seconds
+        stash_bytes += partition_gemm(shape, 1).stash_bytes
+
+    cpu_cfg = config.cpu
+    core = CPUCore(
+        frequency_hz=cpu_cfg.frequency_hz,
+        fmac_lanes=cpu_cfg.fmac_lanes,
+        issue_width=cpu_cfg.issue_width,
+        memory_bandwidth_bytes_per_s=cpu_cfg.memory_bandwidth_bytes_per_s,
+    )
+    cpu_seconds = core.run_elementwise(workload.non_gemm_flops, workload.non_gemm_bytes).seconds
+
+    dram = DRAMModel(config=config.memory.dram)
+    stash_seconds = stash_bytes / (dram.effective_bandwidth(active_nodes) / active_nodes)
+    schedule = schedule_gemm_plus(
+        mmae_seconds=gemm_seconds,
+        cpu_seconds=cpu_seconds,
+        stash_seconds=stash_seconds,
+        mapping_enabled=config.mapping_scheme_enabled,
+    )
+    return schedule.total_seconds
+
+
+def _service_worker(payload) -> float:
+    """Pool worker: estimate one ``(workload, precision)`` service time."""
+    (config, workload_name, precision, active_nodes), cache = payload
+    return estimate_service_seconds(
+        config, workload_name, precision, active_nodes, cache=_task_cache(cache)
+    )
+
+
+@dataclass
+class _NodeState:
+    """Mutable per-node bookkeeping for the event loop."""
+
+    node_id: int
+    free_at: float = 0.0
+    busy_s: float = 0.0
+    switch_s: float = 0.0
+    completed: int = 0
+    tenant_switches: int = 0
+    last_tenant: Optional[str] = None
+
+
+class ServeSimulator:
+    """Simulates a request trace against a MACO fleet under a dispatch policy.
+
+    ``scheduler`` is a policy name (``fcfs``, ``sjf``, ``rr``); ``jobs`` fans
+    the per-workload service estimation out over a
+    :class:`~repro.core.batch.SweepRunner` pool (the event loop itself is
+    always serial and deterministic, so the report is bit-identical for every
+    ``jobs`` setting).
+    """
+
+    def __init__(
+        self,
+        system: Optional[MACOSystem] = None,
+        config: Optional[MACOConfig] = None,
+        scheduler: str = "fcfs",
+        jobs: Optional[int] = None,
+        cache: Optional[TimingCache] = None,
+    ) -> None:
+        if system is not None and config is not None:
+            raise ValueError("pass either a system or a config, not both")
+        if system is None:
+            system = MACOSystem(config if config is not None else maco_default_config())
+        self.system = system
+        self.scheduler_name = scheduler
+        self.runner = SweepRunner(jobs=jobs if jobs is not None else 1, cache=cache)
+        self._services: Dict[Tuple[str, Precision], float] = {}
+        # One serving process per (node, tenant): created lazily through the
+        # node CPU's ProcessManager so ASIDs and switch accounting are real.
+        self._tenant_processes: List[Dict[str, Process]] = [
+            {} for _ in range(self.system.num_nodes)
+        ]
+
+    # ------------------------------------------------------------ service times
+    def service_seconds(self, workload_name: str, precision: Precision = Precision.FP32) -> float:
+        """Memoised per-request service time on one node of this fleet."""
+        key = (workload_name, precision)
+        if key not in self._services:
+            self._services[key] = estimate_service_seconds(
+                self.system.config, workload_name, precision,
+                active_nodes=self.system.num_nodes, cache=self.runner.cache,
+            )
+        return self._services[key]
+
+    def _ensure_services(self, pairs: Sequence[Tuple[str, Precision]]) -> None:
+        """Estimate the given (workload, precision) pairs, fanning out over the runner's pool."""
+        ordered = sorted(set(pairs), key=lambda pair: (pair[0], pair[1].name))
+        missing = [pair for pair in ordered if pair not in self._services]
+        if not missing:
+            return
+        tasks = [
+            (self.system.config, workload, precision, self.system.num_nodes)
+            for workload, precision in missing
+        ]
+        for pair, seconds in zip(missing, self.runner.map(_service_worker, tasks)):
+            self._services[pair] = seconds
+
+    def _prepare_services(self, trace: RequestTrace) -> None:
+        """Estimate every distinct (workload, precision) in the trace, possibly in parallel."""
+        self._ensure_services([(request.workload, request.precision) for request in trace])
+
+    def suggest_rates(
+        self,
+        specs: Sequence[TenantSpec],
+        utilization: float = 0.7,
+        precision: Precision = Precision.FP32,
+    ) -> List[TenantSpec]:
+        """Size each tenant's arrival rate so the fleet runs at ``utilization``.
+
+        Each tenant gets an equal share of the fleet's service capacity:
+        ``rate = utilization * nodes / (tenants * mean service seconds)``,
+        where the mean service time is weighted by the tenant's workload mix.
+        """
+        if not 0 < utilization:
+            raise ValueError(f"utilization must be positive, got {utilization}")
+        # Batch the estimates through the worker pool so --jobs helps here too
+        # (this is where a cold simulator computes them in the default CLI path).
+        self._ensure_services([
+            (workload, precision)
+            for spec in specs
+            for workload, _ in spec.mean_mix_weights()
+        ])
+        sized = []
+        for spec in specs:
+            mean_service = sum(
+                weight * self.service_seconds(workload, precision)
+                for workload, weight in spec.mean_mix_weights()
+            )
+            rate = utilization * self.system.num_nodes / (len(specs) * mean_service)
+            sized.append(spec.with_rate(rate))
+        return sized
+
+    # ------------------------------------------------------- context switching
+    def _switch_seconds(self, state: _NodeState, tenant: str) -> float:
+        """Charge (and account) the cost of putting ``tenant`` on the node.
+
+        The first tenant a node ever serves is adopted for free (the node was
+        idle); after that, a tenant change costs the ProcessManager's register
+        save/restore plus the ASID flush penalty, both in the CPU clock domain.
+        """
+        node = self.system.node(state.node_id)
+        manager = node.cpu.processes
+        processes = self._tenant_processes[state.node_id]
+        if tenant not in processes:
+            processes[tenant] = manager.create_process(f"serve:{tenant}")
+        process = processes[tenant]
+        if state.last_tenant is None:
+            manager.current = process
+            return 0.0
+        if state.last_tenant == tenant:
+            return 0.0
+        cycles = manager.switch_to(process.asid) + TENANT_SWITCH_FLUSH_CYCLES
+        state.tenant_switches += 1
+        return cycles / node.cpu.frequency_hz
+
+    # ------------------------------------------------------------- event loop
+    def run(self, trace: RequestTrace) -> ServeReport:
+        """Simulate the trace to completion and return the aggregated report.
+
+        Non-preemptive multi-server queue: whenever the earliest-free node
+        frees up, every request that has arrived by then is admitted to the
+        scheduler, the policy pops one, and the node is busy for the switch
+        cost plus the service estimate.  All tie-breaks are deterministic, so
+        identical traces yield bit-identical reports.
+        """
+        self._prepare_services(trace)
+        scheduler: Scheduler = scheduler_by_name(
+            self.scheduler_name,
+            estimator=lambda request: self.service_seconds(request.workload, request.precision),
+        )
+        states = [_NodeState(node_id=index) for index in range(self.system.num_nodes)]
+        # Defensive sort: RequestTrace is a public dataclass, so a hand-built
+        # trace may not arrive ordered; the admission scan below requires it.
+        arrivals: List[Request] = sorted(
+            trace.requests, key=lambda request: (request.arrival_s, request.request_id))
+        completions: List[dict] = []
+        index = 0
+        # Time-weighted queue-depth integral, sampled at every event.
+        last_event_t = 0.0
+        depth_area = 0.0
+        depth_max = 0
+
+        def advance(now: float, extra_queued: int = 0) -> None:
+            nonlocal last_event_t, depth_area
+            if now > last_event_t:
+                depth_area += (len(scheduler) + extra_queued) * (now - last_event_t)
+                last_event_t = now
+
+        while index < len(arrivals) or len(scheduler):
+            state = min(states, key=lambda s: (s.free_at, s.node_id))
+            # Admit everything that has arrived by the time this node frees.
+            while index < len(arrivals) and arrivals[index].arrival_s <= state.free_at:
+                advance(arrivals[index].arrival_s)
+                scheduler.push(arrivals[index])
+                depth_max = max(depth_max, len(scheduler))
+                index += 1
+            if not len(scheduler):
+                # Idle fleet: jump to the next arrival instant (admit ties too).
+                now = arrivals[index].arrival_s
+                while index < len(arrivals) and arrivals[index].arrival_s <= now:
+                    advance(arrivals[index].arrival_s)
+                    scheduler.push(arrivals[index])
+                    depth_max = max(depth_max, len(scheduler))
+                    index += 1
+                continue
+            request = scheduler.pop()
+            start = max(state.free_at, request.arrival_s)
+            # The popped request stays logically queued until its start time,
+            # so count it in the depth integral over (last event, start).
+            advance(start, extra_queued=1)
+            switch_s = self._switch_seconds(state, request.tenant)
+            service_s = self.service_seconds(request.workload, request.precision)
+            finish = start + switch_s + service_s
+            state.free_at = finish
+            state.busy_s += switch_s + service_s
+            state.switch_s += switch_s
+            state.completed += 1
+            state.last_tenant = request.tenant
+            completions.append({
+                "tenant": request.tenant,
+                "arrival_s": request.arrival_s,
+                "start_s": start,
+                "finish_s": finish,
+                "switch_s": switch_s,
+            })
+
+        makespan = max((entry["finish_s"] for entry in completions), default=0.0)
+        advance(makespan)
+        node_stats = [
+            NodeStats(
+                node_id=state.node_id,
+                completed=state.completed,
+                busy_s=state.busy_s,
+                utilization=state.busy_s / makespan if makespan else 0.0,
+                tenant_switches=state.tenant_switches,
+                switch_s=state.switch_s,
+            )
+            for state in states
+        ]
+        return build_report(
+            trace_name=trace.name,
+            scheduler_name=self.scheduler_name,
+            num_nodes=self.system.num_nodes,
+            completions=completions,
+            node_stats=node_stats,
+            queue_depth_mean=depth_area / makespan if makespan else 0.0,
+            queue_depth_max=depth_max,
+        )
+
+    # ------------------------------------------------------- functional check
+    def functional_smoke(self, trace: RequestTrace, size: int = 48, max_requests: int = 4) -> int:
+        """Drive the first trace requests through the real MPAIS async path.
+
+        For up to ``max_requests`` requests (one small ``size``-cubed FP64
+        GEMM each, round-robined across nodes) the smoke test submits via
+        ``MA_CFG`` (:meth:`~repro.core.runtime.MACORuntime.gemm_async`), polls
+        ``MA_READ``, drains with ``MA_STATE`` and checks the result against
+        NumPy.  Returns the number of verified GEMMs; raises on mismatch.
+        """
+        import numpy as np
+
+        from repro.core.runtime import MACORuntime
+
+        runtime = MACORuntime(system=self.system)
+        host = self.system.host_memory
+        rng = np.random.default_rng(0)
+        verified = 0
+        for request in trace.requests[:max_requests]:
+            node_id = verified % self.system.num_nodes
+            node = self.system.node(node_id)
+            # The event loop leaves each node on its last tenant's ASID; the
+            # smoke GEMM allocates in the node's default address space, so
+            # switch back before submitting.
+            if node.cpu.processes.current is not node.default_process:
+                node.cpu.switch_process(node.default_process.asid)
+            before = set(host.registered_bases())
+            a = rng.standard_normal((size, size))
+            b = rng.standard_normal((size, size))
+            handle = runtime.gemm_async(a, b, node_id=node_id, precision=Precision.FP64)
+            runtime.poll(handle)  # MA_READ must not release the entry
+            result = runtime.wait(handle)
+            if not np.allclose(result, a @ b):
+                raise AssertionError(
+                    f"functional GEMM mismatch for request {request.request_id} on node {node_id}"
+                )
+            # Nodes share one host memory but allocate from per-node address
+            # spaces with identical bases, so release the scratch operands
+            # before the next node reuses the same virtual range.
+            for base in set(host.registered_bases()) - before:
+                host.unregister(base)
+            verified += 1
+        return verified

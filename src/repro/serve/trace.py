@@ -1,0 +1,281 @@
+"""Request traces for the multi-tenant serving simulator.
+
+A serving scenario starts from a :class:`RequestTrace`: a time-ordered list of
+:class:`Request` arrivals, each tagged with a tenant and a model from the
+workload registry (:mod:`repro.workloads.registry`).  Traces come from three
+generators —
+
+* :func:`poisson_trace` — independent Poisson arrivals per tenant (the
+  classic open-loop serving assumption);
+* :func:`bursty_trace` — an on/off modulated Poisson process (Lewis–Shedler
+  thinning) that concentrates arrivals into periodic bursts while preserving
+  the mean rate;
+* :func:`replay_trace` — arrivals replayed from a JSON file or records, for
+  reproducing production traces.
+
+All generators are seeded and fully deterministic: every tenant draws from a
+private ``random.Random`` seeded with a string (string seeding hashes through
+SHA-512, so it is stable across processes and ``PYTHONHASHSEED`` values).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.gemm.precision import Precision
+from repro.workloads.registry import workload_names
+
+__all__ = [
+    "Request",
+    "TenantSpec",
+    "RequestTrace",
+    "default_tenants",
+    "poisson_trace",
+    "bursty_trace",
+    "replay_trace",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: a tenant asks for one model invocation.
+
+    ``workload`` names an entry of the workload registry (``resnet50``,
+    ``bert``, ``gpt3``); ``arrival_s`` is the arrival time in seconds from
+    the start of the trace.
+    """
+
+    request_id: int
+    tenant: str
+    workload: str
+    arrival_s: float
+    precision: Precision = Precision.FP32
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError(f"arrival time cannot be negative, got {self.arrival_s}")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """A tenant's traffic description: mean arrival rate and workload mix.
+
+    ``mix`` is a tuple of ``(workload name, weight)`` pairs; weights are
+    normalised when sampling, so they only need to be positive.
+    """
+
+    name: str
+    rate_rps: float = 8.0
+    mix: Tuple[Tuple[str, float], ...] = (("bert", 1.0),)
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"tenant {self.name!r}: rate must be positive, got {self.rate_rps}")
+        if not self.mix:
+            raise ValueError(f"tenant {self.name!r}: workload mix cannot be empty")
+        if any(weight <= 0 for _, weight in self.mix):
+            raise ValueError(f"tenant {self.name!r}: mix weights must be positive")
+
+    def with_rate(self, rate_rps: float) -> "TenantSpec":
+        """Copy of this spec with a different mean arrival rate."""
+        return replace(self, rate_rps=rate_rps)
+
+    def pick_workload(self, rng: random.Random) -> str:
+        """Draw one workload name from the (normalised) mix."""
+        total = sum(weight for _, weight in self.mix)
+        draw = rng.random() * total
+        cumulative = 0.0
+        for name, weight in self.mix:
+            cumulative += weight
+            if draw < cumulative:
+                return name
+        return self.mix[-1][0]
+
+    def mean_mix_weights(self) -> List[Tuple[str, float]]:
+        """The mix with weights normalised to sum to 1."""
+        total = sum(weight for _, weight in self.mix)
+        return [(name, weight / total) for name, weight in self.mix]
+
+
+@dataclass
+class RequestTrace:
+    """A time-ordered request arrival trace for one serving scenario."""
+
+    name: str
+    requests: List[Request] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("trace duration cannot be negative")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def tenants(self) -> List[str]:
+        """Tenant names appearing in the trace, sorted."""
+        return sorted({request.tenant for request in self.requests})
+
+    @property
+    def workloads(self) -> List[str]:
+        """Distinct workload names appearing in the trace, sorted."""
+        return sorted({request.workload for request in self.requests})
+
+    def to_records(self) -> List[dict]:
+        """JSON-able arrival records (the :func:`replay_trace` input format)."""
+        return [
+            {
+                "tenant": request.tenant,
+                "workload": request.workload,
+                "arrival_s": request.arrival_s,
+                "precision": request.precision.name.lower(),
+            }
+            for request in self.requests
+        ]
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as a JSON record list that :func:`replay_trace` reads back."""
+        Path(path).write_text(json.dumps(self.to_records(), indent=2) + "\n")
+
+
+def _finalize(name: str, pending: List[Tuple[float, str, int, str, Precision]],
+              duration_s: float) -> RequestTrace:
+    """Sort merged per-tenant arrivals and assign stable request ids.
+
+    The sort key ``(arrival, tenant, per-tenant sequence)`` breaks ties
+    deterministically, so the same inputs always produce the same ids.
+    """
+    pending.sort(key=lambda item: (item[0], item[1], item[2]))
+    requests = [
+        Request(request_id=index, tenant=tenant, workload=workload,
+                arrival_s=arrival, precision=precision)
+        for index, (arrival, tenant, _seq, workload, precision) in enumerate(pending)
+    ]
+    return RequestTrace(name=name, requests=requests, duration_s=duration_s)
+
+
+def default_tenants(count: int, rate_rps: float = 8.0) -> List[TenantSpec]:
+    """``count`` tenants with rotating workload mixes over the registry.
+
+    Tenant ``i`` leans 70% on registry model ``i mod len(registry)`` with the
+    remaining 30% spread over the other models, so multi-tenant traces mix
+    models without any randomness in the specs themselves.
+    """
+    if count < 1:
+        raise ValueError(f"tenant count must be >= 1, got {count}")
+    names = workload_names()
+    specs = []
+    for index in range(count):
+        dominant = names[index % len(names)]
+        others = [name for name in names if name != dominant]
+        mix = [(dominant, 0.7)] + [(name, 0.3 / len(others)) for name in others]
+        specs.append(TenantSpec(name=f"tenant{index}", rate_rps=rate_rps, mix=tuple(mix)))
+    return specs
+
+
+def poisson_trace(
+    tenants: Sequence[TenantSpec],
+    duration_s: float,
+    seed: int = 0,
+    precision: Precision = Precision.FP32,
+) -> RequestTrace:
+    """Independent Poisson arrivals per tenant over ``duration_s`` seconds."""
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    pending: List[Tuple[float, str, int, str, Precision]] = []
+    for spec in tenants:
+        rng = random.Random(f"{seed}/poisson/{spec.name}")
+        clock, sequence = 0.0, 0
+        while True:
+            clock += rng.expovariate(spec.rate_rps)
+            if clock >= duration_s:
+                break
+            pending.append((clock, spec.name, sequence, spec.pick_workload(rng), precision))
+            sequence += 1
+    return _finalize(f"poisson-seed{seed}", pending, duration_s)
+
+
+def bursty_trace(
+    tenants: Sequence[TenantSpec],
+    duration_s: float,
+    seed: int = 0,
+    precision: Precision = Precision.FP32,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.2,
+    cycle_s: float = 0.25,
+) -> RequestTrace:
+    """On/off modulated Poisson arrivals: periodic bursts, same mean rate.
+
+    Each tenant's rate alternates between an elevated burst rate during the
+    first ``burst_fraction`` of every ``cycle_s``-second cycle and a reduced
+    off rate, chosen so the time-averaged rate equals ``rate_rps`` exactly:
+    when ``burst_factor * burst_fraction >= 1`` all arrivals fall inside the
+    bursts (burst rate ``rate / burst_fraction``), otherwise the burst rate is
+    ``rate * burst_factor`` and the remainder spreads over the off phase.
+    Sampling uses Lewis–Shedler thinning, which stays exact for any piecewise
+    rate function and deterministic under the seeded generator.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    if burst_factor < 1:
+        raise ValueError(f"burst factor must be >= 1, got {burst_factor}")
+    if not 0 < burst_fraction < 1:
+        raise ValueError(f"burst fraction must be in (0, 1), got {burst_fraction}")
+    if cycle_s <= 0:
+        raise ValueError(f"cycle length must be positive, got {cycle_s}")
+    pending: List[Tuple[float, str, int, str, Precision]] = []
+    for spec in tenants:
+        rng = random.Random(f"{seed}/bursty/{spec.name}")
+        if burst_factor * burst_fraction >= 1.0:
+            on_rate = spec.rate_rps / burst_fraction
+            off_rate = 0.0
+        else:
+            on_rate = spec.rate_rps * burst_factor
+            off_rate = spec.rate_rps * (1.0 - burst_factor * burst_fraction) / (1.0 - burst_fraction)
+        clock, sequence = 0.0, 0
+        while True:
+            clock += rng.expovariate(on_rate)
+            if clock >= duration_s:
+                break
+            in_burst = (clock % cycle_s) / cycle_s < burst_fraction
+            rate_now = on_rate if in_burst else off_rate
+            if rng.random() * on_rate < rate_now:  # thinning acceptance
+                pending.append((clock, spec.name, sequence, spec.pick_workload(rng), precision))
+                sequence += 1
+    return _finalize(f"bursty-seed{seed}", pending, duration_s)
+
+
+def replay_trace(source: Union[str, Path, Iterable[dict]], name: str = "replay") -> RequestTrace:
+    """Rebuild a trace from a JSON file path or an iterable of arrival records.
+
+    Each record needs ``tenant``, ``workload`` and ``arrival_s``;
+    ``precision`` is optional (default fp32).  Records are re-sorted and
+    re-numbered, so a hand-edited file stays valid.
+    """
+    if isinstance(source, (str, Path)):
+        records = json.loads(Path(source).read_text())
+        name = Path(source).stem
+    else:
+        records = list(source)
+    if not isinstance(records, list):
+        raise ValueError("replay source must be a JSON list of arrival records")
+    pending: List[Tuple[float, str, int, str, Precision]] = []
+    for sequence, record in enumerate(records):
+        try:
+            arrival = float(record["arrival_s"])
+            tenant = str(record["tenant"])
+            workload = str(record["workload"])
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"replay record {sequence} is malformed: {record!r}") from error
+        precision = Precision.from_string(record.get("precision", "fp32"))
+        pending.append((arrival, tenant, sequence, workload, precision))
+    duration = max((item[0] for item in pending), default=0.0)
+    return _finalize(name, pending, duration)

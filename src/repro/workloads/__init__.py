@@ -17,7 +17,7 @@ from repro.workloads.layers import (
 from repro.workloads.resnet50 import resnet50_workload, RESNET50_LAYERS
 from repro.workloads.bert import bert_workload, BERT_BASE, BERT_LARGE
 from repro.workloads.gpt3 import gpt3_workload, GPT3_CONFIGS
-from repro.workloads.registry import dl_benchmark_suite, workload_by_name
+from repro.workloads.registry import dl_benchmark_suite, workload_by_name, workload_names
 
 __all__ = [
     "LayerKind",
@@ -35,4 +35,5 @@ __all__ = [
     "GPT3_CONFIGS",
     "dl_benchmark_suite",
     "workload_by_name",
+    "workload_names",
 ]

@@ -18,6 +18,11 @@ _BUILDERS: Dict[str, Callable[..., GEMMWorkload]] = {
 }
 
 
+def workload_names() -> List[str]:
+    """Names of the registered benchmark workloads, sorted."""
+    return sorted(_BUILDERS)
+
+
 def workload_by_name(name: str, precision: Precision = Precision.FP32) -> GEMMWorkload:
     """Build one of the Fig. 8 benchmark workloads by name."""
     key = name.strip().lower()

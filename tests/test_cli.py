@@ -156,3 +156,89 @@ class TestExploreCommand:
         assert "error: jobs must be >= 1" in captured.err
         assert main(["explore", "--sample", "random", "--points", "0"]) == 2
         assert "error: count must be positive" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    ARGV = ["serve", "--trace", "poisson", "--tenants", "3", "--seed", "7",
+            "--requests", "60", "--nodes", "4"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace == "poisson"
+        assert args.scheduler == "fcfs"
+        assert args.tenants == 3
+        assert args.format == "table"
+        assert args.rate is None
+
+    def test_table_output_reports_all_sections(self, capsys):
+        assert main(self.ARGV) == 0
+        output = capsys.readouterr().out
+        assert "Per-tenant latency and throughput" in output
+        assert "Per-node utilization" in output
+        for column in ("p50 (ms)", "p95 (ms)", "p99 (ms)", "req/s", "utilization"):
+            assert column in output
+        for tenant in ("tenant0", "tenant1", "tenant2"):
+            assert tenant in output
+
+    def test_repeated_runs_are_bit_identical(self, capsys):
+        assert main(self.ARGV + ["--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGV + ["--format", "json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_jobs_setting_does_not_change_output(self, capsys):
+        assert main(self.ARGV + ["--format", "json", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGV + ["--format", "json", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_json_output_has_required_metrics(self, capsys):
+        import json
+
+        assert main(self.ARGV + ["--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {"latency_p50_s", "latency_p95_s", "latency_p99_s",
+                "throughput_rps", "tenants", "nodes"} <= set(report)
+        assert len(report["tenants"]) == 3
+        for tenant in report["tenants"]:
+            assert tenant["latency_p99_s"] >= tenant["latency_p50_s"]
+        assert all("utilization" in node for node in report["nodes"])
+
+    def test_scheduler_choices_run(self, capsys):
+        for scheduler in ("fcfs", "sjf", "rr"):
+            assert main(self.ARGV + ["--scheduler", scheduler]) == 0
+            assert "Serve report" in capsys.readouterr().out
+
+    def test_replay_from_file(self, tmp_path, capsys):
+        assert main(self.ARGV + ["--format", "json"]) == 0
+        capsys.readouterr()
+        records = [
+            {"tenant": "a", "workload": "resnet50", "arrival_s": 0.0},
+            {"tenant": "b", "workload": "resnet50", "arrival_s": 0.5},
+        ]
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(records))
+        assert main(["serve", "--trace", "replay", "--trace-file", str(path),
+                     "--nodes", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "2 requests" in captured.out
+        assert "warning" not in captured.err
+        # Generation-only flags are meaningless for a replayed trace: warn.
+        assert main(["serve", "--trace", "replay", "--trace-file", str(path),
+                     "--nodes", "2", "--tenants", "5", "--precision", "fp16"]) == 0
+        captured = capsys.readouterr()
+        assert "ignoring --tenants, --precision" in captured.err
+
+    def test_replay_without_file_errors(self, capsys):
+        assert main(["serve", "--trace", "replay"]) == 2
+        assert "requires --trace-file" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(self.ARGV + ["--format", "json", "--output", str(target)]) == 0
+        assert "wrote serve report" in capsys.readouterr().out
+        import json
+
+        assert json.loads(target.read_text())["total_requests"] > 0
