@@ -9,7 +9,7 @@ buffers to stay efficient, and the paper's point sits near the perf/W front.
 """
 
 from repro.analysis import format_gflops, format_percent, render_table
-from repro.core import DesignPoint, DesignSpaceExplorer, pareto_front
+from repro.core import DesignSpaceExplorer, pareto_front
 from repro.gemm import hpl_like_workloads
 
 

@@ -17,7 +17,6 @@ from repro.core import (
     TimingCache,
     maco_default_config,
     pareto_front,
-    sweep_scalability,
 )
 from repro.gemm import GEMMShape
 from repro.gemm.workloads import FIG7_MATRIX_SIZES

@@ -19,7 +19,6 @@ from repro.core import (
     TimingCache,
     maco_default_config,
     pareto_front,
-    sweep_scalability,
 )
 from repro.gemm import GEMMShape
 from repro.gemm.workloads import FIG7_MATRIX_SIZES
@@ -56,7 +55,7 @@ def main() -> None:
     ))
     front = pareto_front(serial)
     print(f"{len(front)} of {len(serial)} points are Pareto-optimal "
-          f"(throughput vs GFLOPS/W)")
+          "(throughput vs GFLOPS/W)")
 
     # What the timing cache buys: rerunning a whole figure sweep is ~free.
     config = maco_default_config()

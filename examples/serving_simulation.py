@@ -57,7 +57,7 @@ def main() -> None:
     fcfs, sjf = reports["fcfs"], reports["sjf"]
     print(f"\nSJF shifts the tail: fleet p50 {sjf.latency_p50_s * 1e3:.0f} ms vs "
           f"{fcfs.latency_p50_s * 1e3:.0f} ms under FCFS (short requests jump the queue), "
-          f"while p99 belongs to the long-model tenant either way.")
+          "while p99 belongs to the long-model tenant either way.")
 
     # Functional cross-check on a fresh system: the same dispatch path drives
     # real MPAIS submissions and the results are compared against NumPy.

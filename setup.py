@@ -1,22 +1,14 @@
-"""Setup script for the MACO reproduction package.
+"""Legacy setup shim for the MACO reproduction package.
 
-The pyproject.toml carries the project metadata; this setup.py exists so the
-package can be installed editable (``pip install -e .``) in offline
-environments where pip cannot fetch the ``wheel`` build dependency needed by
-the PEP 660 editable-wheel path.
+All project metadata lives in pyproject.toml (PEP 621), including the
+``src/`` package layout and the ``repro`` console script.  This file exists
+only so environments whose tooling predates PEP 517 (``python setup.py
+install`` in offline images with an old setuptools) can still install the
+package; setuptools reads the pyproject metadata either way.  Offline
+``pip`` users should pass ``--no-build-isolation`` (see README "Install and
+verify") so pip does not try to download the build backend.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Reproduction of MACO: Exploring GEMM Acceleration on a "
-        "Loosely-Coupled Multi-Core Processor (DATE 2024)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-)
+setup()

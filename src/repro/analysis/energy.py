@@ -9,10 +9,10 @@ just the theoretical Table IV ratios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.config import CPUConfig, MACOConfig, MMAEConfig, maco_default_config
+from repro.core.config import MACOConfig, maco_default_config
 from repro.core.metrics import SystemResult, WorkloadResult
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def percentile(values: Sequence[float], q: float) -> float:

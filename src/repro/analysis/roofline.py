@@ -17,7 +17,6 @@ from typing import Dict, List, Optional
 from repro.core.config import MACOConfig, maco_default_config
 from repro.core.perf import memory_environment, node_peak_gflops
 from repro.gemm.precision import Precision
-from repro.gemm.tiling import TileConfig
 from repro.gemm.workloads import GEMMShape
 from repro.mmae.dataflow import build_tile_schedule
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 

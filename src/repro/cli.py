@@ -8,7 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli table4               # CPU vs MMAE area/power table
     python -m repro.cli gemm --size 4096 --nodes 8 --precision fp64
     python -m repro.cli explore --sample lhs --points 200 --jobs 4 --format csv
-    python -m repro.cli serve --trace poisson --tenants 3 --seed 7
+    python -m repro.cli workloads describe llama-7b@decode
+    python -m repro.cli serve --trace poisson --tenants 3 --seed 7 --tenant-mix llm
 
 The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
 matches the rows recorded in EXPERIMENTS.md.  The sweep-shaped commands
@@ -52,7 +53,14 @@ from repro.core import (
 )
 from repro.gemm import GEMMShape, Precision, hpl_like_workloads
 from repro.gemm.workloads import FIG6_MATRIX_SIZES, FIG7_MATRIX_SIZES
-from repro.workloads import dl_benchmark_suite
+from repro.workloads import (
+    WorkloadGraph,
+    catalog_entry,
+    describe_workload,
+    dl_benchmark_suite,
+    workload_catalog,
+    workload_graph_by_name,
+)
 
 
 def _cmd_gemm(args: argparse.Namespace) -> int:
@@ -123,7 +131,11 @@ def _explore_workload(args: argparse.Namespace):
     if args.workload == "hpl":
         return hpl_like_workloads(max_size=args.size, step=max(args.size // 4, 256),
                                   precision=precision)
-    return GEMMShape(args.size, args.size, args.size, precision)
+    if args.workload == "square":
+        return GEMMShape(args.size, args.size, args.size, precision)
+    # Anything else must be a workload-catalog name (base[@spec]), which
+    # evaluates per-phase through the WorkloadGraph IR.
+    return workload_graph_by_name(args.workload, precision)
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -131,21 +143,44 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     points = DesignSpaceExplorer.sample(args.sample, args.points, seed=args.seed)
     if args.sample == "grid" and args.points != 64:
         print(f"note: --sample grid is the full {len(points)}-point factorial grid; "
-              f"--points/--seed apply to random and lhs sampling only", file=sys.stderr)
+              "--points/--seed apply to random and lhs sampling only", file=sys.stderr)
     workload = _explore_workload(args)
     runner = SweepRunner(jobs=args.jobs)
-    results = explorer.explore(points, workload, objective=args.objective, runner=runner)
-    front = {id(result) for result in pareto_front(results)}
+    graph_results = None
+    if isinstance(workload, WorkloadGraph):
+        graph_results = explorer.explore_graph(points, workload, objective=args.objective,
+                                               runner=runner)
+        results = [entry.aggregate for entry in graph_results]
+    else:
+        if args.per_phase:
+            raise ValueError("--per-phase needs a catalog workload "
+                             f"(options: {workload_catalog()}), not --workload {args.workload}")
+        results = explorer.explore(points, workload, objective=args.objective, runner=runner)
 
-    headers = ["design point", "sa", "buffer_kb", "nodes", "gflops", "efficiency",
-               "gflops_per_mm2", "gflops_per_watt", "seconds", "pareto"]
-    raw_rows = [
-        [result.point.name, f"{result.point.sa_rows}x{result.point.sa_cols}",
-         result.point.buffer_kb, result.point.num_nodes,
-         result.gflops, result.efficiency, result.gflops_per_mm2,
-         result.gflops_per_watt, result.seconds, id(result) in front]
-        for result in results
-    ]
+    if args.per_phase:
+        headers = ["design point", "phase", "kind", "step", "repeat",
+                   "seconds", "gflops", "efficiency"]
+        raw_rows = [
+            [entry.aggregate.point.name, phase.name, phase.kind, phase.step, phase.repeat,
+             phase.seconds, phase.gflops, phase.efficiency]
+            for entry in graph_results
+            for phase in entry.phases
+        ]
+        title = (f"Design-space exploration - {len(results)} points by {args.objective}, "
+                 "per phase")
+    else:
+        front = {id(result) for result in pareto_front(results)}
+        headers = ["design point", "sa", "buffer_kb", "nodes", "gflops", "efficiency",
+                   "gflops_per_mm2", "gflops_per_watt", "seconds", "pareto"]
+        raw_rows = [
+            [result.point.name, f"{result.point.sa_rows}x{result.point.sa_cols}",
+             result.point.buffer_kb, result.point.num_nodes,
+             result.gflops, result.efficiency, result.gflops_per_mm2,
+             result.gflops_per_watt, result.seconds, id(result) in front]
+            for result in results
+        ]
+        title = f"Design-space exploration - {len(results)} points by {args.objective}"
+
     def format_cells(rows, stringify=False):
         return [[f"{cell:.6g}" if isinstance(cell, float) else (str(cell) if stringify else cell)
                  for cell in row] for row in rows]
@@ -157,10 +192,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         text = render_csv(headers, format_cells(raw_rows))
     else:
         shown = raw_rows if args.top <= 0 else raw_rows[:args.top]
-        text = render_table(
-            headers, format_cells(shown, stringify=True),
-            title=f"Design-space exploration - {len(results)} points by {args.objective}",
-        )
+        text = render_table(headers, format_cells(shown, stringify=True), title=title)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
@@ -190,11 +222,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    precision = Precision.from_string(args.precision)
+
+    if args.action == "list":
+        entries = []
+        for name in workload_catalog():
+            variant = catalog_entry(name)
+            graph = workload_graph_by_name(name, precision)
+            entries.append({
+                "name": name,
+                "parameters": {key: default for key, default in variant.defaults},
+                "phases": len(graph),
+                "gemms": sum(len(phase.shapes) * phase.repeat for phase in graph),
+                "gflop": graph.total_flops / 1e9,
+                "summary": variant.summary,
+            })
+        if args.format == "json":
+            text = json.dumps(entries, indent=2, sort_keys=True)
+        else:
+            rows = [
+                [entry["name"],
+                 ",".join(f"{key}={value}" for key, value in entry["parameters"].items()
+                          if key != "phases"),
+                 entry["phases"], entry["gemms"], f"{entry['gflop']:.1f}", entry["summary"]]
+                for entry in entries
+            ]
+            text = render_table(
+                ["name", "parameters (defaults)", "phases", "gemms", "gflop", "description"],
+                [[str(cell) for cell in row] for row in rows],
+                title=f"Workload catalog - {len(entries)} variants "
+                      "(parameterize as name@key=value,...)",
+            )
+    elif args.action == "describe":
+        if not args.name:
+            raise ValueError("workloads describe needs a catalog name (base[@spec])")
+        graph = workload_graph_by_name(args.name, precision)
+        description = describe_workload(args.name, precision, graph=graph)
+        if args.format == "json":
+            text = json.dumps(description, indent=2, sort_keys=True)
+        else:
+            rows = [
+                [name, kind, str(repeat), str(gemms), f"{gflop:.1f}", f"{footprint:.1f}",
+                 f"{state:.1f}", f"{reuse:.1f}"]
+                for name, kind, repeat, gemms, gflop, footprint, state, reuse
+                in graph.summary_rows()
+            ]
+            totals = (f"total: {description['gemm_flops'] / 1e9:.1f} GFLOP of GEMMs, "
+                      f"{description['total_flops'] / 1e9:.1f} GFLOP overall, "
+                      f"footprint {description['footprint_bytes'] / 1e6:.1f} MB, "
+                      f"peak resident state {description['peak_state_bytes'] / 1e6:.1f} MB")
+            text = "\n\n".join([
+                render_table(
+                    ["phase", "kind", "repeat", "gemms", "gflop", "stream (MB)",
+                     "state (MB)", "flop/byte"],
+                    rows, title=f"{description['name']} - {len(graph)} phases"),
+                totals,
+            ])
+    else:  # export
+        if not args.name:
+            raise ValueError("workloads export needs a catalog name (base[@spec])")
+        text = workload_graph_by_name(args.name, precision).to_json()
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.action} output to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         ServeSimulator,
         bursty_trace,
         default_tenants,
+        llm_tenants,
         poisson_trace,
         replay_trace,
     )
@@ -207,17 +311,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not args.trace_file:
             raise ValueError("--trace replay requires --trace-file")
         parser_defaults = {"tenants": 3, "requests": 200, "rate": None,
-                           "utilization": 0.7, "burst_factor": 8.0, "precision": "fp32"}
+                           "utilization": 0.7, "burst_factor": 8.0, "precision": "fp32",
+                           "tenant_mix": "suite"}
         ignored = [f"--{name.replace('_', '-')}" for name, default in parser_defaults.items()
                    if getattr(args, name) != default]
         if ignored:
-            print(f"warning: replayed traces carry their own arrivals and precision; "
+            print("warning: replayed traces carry their own arrivals and precision; "
                   f"ignoring {', '.join(ignored)}", file=sys.stderr)
         trace = replay_trace(args.trace_file)
     else:
         if args.requests < 1:
             raise ValueError(f"request target must be >= 1, got {args.requests}")
-        specs = default_tenants(args.tenants)
+        if args.tenant_mix == "llm":
+            specs = llm_tenants(args.tenants)
+        else:
+            specs = default_tenants(args.tenants)
         if args.rate is not None:
             specs = [spec.with_rate(args.rate) for spec in specs]
         else:
@@ -318,16 +426,37 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--objective", default="gflops",
                          choices=["gflops", "efficiency", "gflops_per_mm2", "gflops_per_watt"],
                          help="ranking objective")
-    explore.add_argument("--workload", default="square", choices=["square", "hpl"],
-                         help="evaluation workload: one square GEMM or an HPL-style ladder")
-    explore.add_argument("--size", type=int, default=2048, help="matrix size for the workload")
+    explore.add_argument("--workload", default="square",
+                         help="evaluation workload: 'square' (one GEMM), 'hpl' (a size "
+                              "ladder), or any workload-catalog name such as "
+                              "llama-7b@decode (see 'repro workloads list')")
+    explore.add_argument("--size", type=int, default=2048,
+                         help="matrix size for --workload square/hpl")
     explore.add_argument("--precision", default="fp64", choices=["fp64", "fp32", "fp16"])
+    explore.add_argument("--per-phase", action="store_true",
+                         help="emit one row per (design point, phase) instead of aggregates "
+                              "(catalog workloads only)")
     explore.add_argument("--top", type=int, default=10,
                          help="rows shown in table output (<= 0 for all)")
     explore.add_argument("--format", default="table", choices=["table", "csv", "json"])
     explore.add_argument("--output", default=None,
                          help="write the rendered output to this file instead of stdout")
     explore.set_defaults(handler=_cmd_explore)
+
+    workloads = subparsers.add_parser(
+        "workloads", help="list, describe and export the workload scenario catalog")
+    workloads.add_argument("action", choices=["list", "describe", "export"],
+                           help="list the catalog, describe one variant's phases, "
+                                "or export its WorkloadGraph JSON")
+    workloads.add_argument("name", nargs="?", default=None,
+                           help="catalog name with optional parameters, e.g. "
+                                "llama-7b@decode,batch=2 (describe/export)")
+    workloads.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
+    workloads.add_argument("--format", default="table", choices=["table", "json"],
+                           help="output format for list/describe (export is always JSON)")
+    workloads.add_argument("--output", default=None,
+                           help="write the output to this file instead of stdout")
+    workloads.set_defaults(handler=_cmd_workloads)
 
     serve = subparsers.add_parser(
         "serve", help="trace-driven multi-tenant inference serving simulation")
@@ -337,6 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON arrival records for --trace replay")
     serve.add_argument("--tenants", type=int, default=3,
                        help="tenant count for generated traces")
+    serve.add_argument("--tenant-mix", default="suite", choices=["suite", "llm"],
+                       help="tenant workload mixes: rotate the Fig. 8 suite, or "
+                            "alternate prefill-heavy and decode-heavy LLM tenants")
     serve.add_argument("--requests", type=int, default=200,
                        help="target total request count for generated traces")
     serve.add_argument("--rate", type=float, default=None,

@@ -58,6 +58,8 @@ from repro.core.explorer import (
     DesignPoint,
     DesignSpaceExplorer,
     EvaluationResult,
+    GraphEvaluationResult,
+    PhaseResult,
     pareto_front,
 )
 
@@ -65,6 +67,8 @@ __all__ = [
     "DesignPoint",
     "DesignSpaceExplorer",
     "EvaluationResult",
+    "GraphEvaluationResult",
+    "PhaseResult",
     "pareto_front",
     "CPUConfig",
     "MMAEConfig",

@@ -99,6 +99,13 @@ def _evaluate_worker(payload):
     return DesignSpaceExplorer(base_config).evaluate(point, workload, cache=_task_cache(cache))
 
 
+def _evaluate_graph_worker(payload):
+    (base_config, point, graph), cache = payload
+    from repro.core.explorer import DesignSpaceExplorer
+
+    return DesignSpaceExplorer(base_config).evaluate_graph(point, graph, cache=_task_cache(cache))
+
+
 def _workload_worker(payload) -> WorkloadResult:
     (system_cls, config, workload, num_nodes), _cache = payload
     return system_cls(config).run_workload(workload, num_nodes=num_nodes)
@@ -184,6 +191,22 @@ class SweepRunner:
         """Evaluate every design point on ``workload`` (input order preserved)."""
         tasks = [(base_config, point, workload) for point in points]
         return self.map(_evaluate_worker, tasks)
+
+    def evaluate_points_on_graph(
+        self,
+        points: Iterable,
+        graph,
+        base_config: Optional[MACOConfig] = None,
+    ) -> List:
+        """Per-phase evaluation of every design point on a workload graph.
+
+        Returns :class:`~repro.core.explorer.GraphEvaluationResult` objects in
+        input order; each phase's distinct shapes are timed once per point and
+        scaled by the phase repeat count, so decode-heavy LLM graphs stay
+        cheap to sweep.
+        """
+        tasks = [(base_config, point, graph) for point in points]
+        return self.map(_evaluate_graph_worker, tasks)
 
     def run_workloads(
         self,

@@ -9,7 +9,6 @@ tiling used by the evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.gemm.tiling import TileConfig
 from repro.mem.dram import DRAMConfig

@@ -16,13 +16,14 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.core.config import MACOConfig, MMAEConfig, maco_default_config
+from repro.core.config import MACOConfig, maco_default_config
 from repro.core.mapping import partition_gemm
 from repro.core.perf import TimingCache, estimate_node_gemm_cached, memory_environment
 from repro.gemm.precision import Precision
 from repro.gemm.tiling import TileConfig
 from repro.gemm.workloads import GEMMShape, GEMMWorkload
 from repro.mmae.buffers import BufferAllocationError, BufferSet
+from repro.workloads.graph import WorkloadGraph
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,37 @@ class EvaluationResult:
     def gflops_per_watt(self) -> float:
         """Throughput per compute-node power (CPU core + MMAE)."""
         return self.gflops / (self.node_power_w * self.config.num_nodes)
+
+
+@dataclass
+class PhaseResult:
+    """Timing of one workload phase under one design point."""
+
+    name: str
+    kind: str
+    step: int
+    repeat: int
+    seconds: float
+    gflops: float
+    efficiency: float
+    state_bytes: int
+
+
+@dataclass
+class GraphEvaluationResult:
+    """Per-phase and aggregate outcome of one design point on a workload graph."""
+
+    aggregate: EvaluationResult
+    phases: List[PhaseResult] = field(default_factory=list)
+
+    @property
+    def point(self) -> DesignPoint:
+        return self.aggregate.point
+
+    @property
+    def bottleneck(self) -> PhaseResult:
+        """The phase that dominates the graph's runtime."""
+        return max(self.phases, key=lambda phase: phase.seconds)
 
 
 class DesignSpaceExplorer:
@@ -246,19 +278,14 @@ class DesignSpaceExplorer:
         raise ValueError(f"unknown sampling method {method!r}; options: grid, random, lhs")
 
     # ---------------------------------------------------------------- evaluation
-    def evaluate(
-        self,
-        point: DesignPoint,
-        workload: GEMMWorkload | GEMMShape,
-        cache: Optional[TimingCache] = None,
-    ) -> EvaluationResult:
-        """Evaluate one design point on a workload (or a single GEMM shape)."""
-        config = point.to_config(self.base_config)
-        shapes = [workload] if isinstance(workload, GEMMShape) else list(workload)
-        if not shapes:
-            raise ValueError("workload has no GEMMs to evaluate")
-        env = memory_environment(config, config.num_nodes)
-
+    @staticmethod
+    def _time_shapes(
+        config: MACOConfig,
+        shapes: Sequence[GEMMShape],
+        env,
+        cache: Optional[TimingCache],
+    ) -> tuple:
+        """Sum the per-layer (slowest-partition) seconds and FLOPs of a GEMM list."""
         total_seconds = 0.0
         total_flops = 0
         for shape in shapes:
@@ -271,23 +298,53 @@ class DesignSpaceExplorer:
             )
             total_seconds += layer_seconds
             total_flops += shape.flops
+        return total_seconds, total_flops
 
-        gflops = total_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
+    @staticmethod
+    def _efficiency(
+        config: MACOConfig,
+        shapes: Sequence[GEMMShape],
+        gflops: float,
+        total_seconds: float,
+        weights: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Fraction of peak, weighting each shape by its own precision's peak.
+
+        ``weights`` gives each shape's execution multiplicity (phase repeats);
+        the default weighs every shape once.
+        """
         precisions = {shape.precision for shape in shapes}
         if len(precisions) == 1:
-            peak = config.peak_gflops(shapes[0].precision)
-            efficiency = gflops / peak if peak else 0.0
-        else:
-            # Mixed-precision workload: a single peak misreports efficiency
-            # (FP16 layers can exceed the FP64 peak).  Accumulate the ideal
-            # time of each shape at its own precision's peak instead; for a
-            # uniform workload this reduces to gflops / peak.
-            ideal_seconds = sum(
-                shape.flops / (config.peak_gflops(shape.precision) * 1e9)
-                for shape in shapes
-                if config.peak_gflops(shape.precision) > 0
-            )
-            efficiency = ideal_seconds / total_seconds if total_seconds > 0 else 0.0
+            peak = config.peak_gflops(next(iter(precisions)))
+            return gflops / peak if peak else 0.0
+        # Mixed-precision workload: a single peak misreports efficiency
+        # (FP16 layers can exceed the FP64 peak).  Accumulate the ideal
+        # time of each shape at its own precision's peak instead; for a
+        # uniform workload this reduces to gflops / peak.
+        if weights is None:
+            weights = [1] * len(shapes)
+        ideal_seconds = sum(
+            weight * shape.flops / (config.peak_gflops(shape.precision) * 1e9)
+            for shape, weight in zip(shapes, weights)
+            if config.peak_gflops(shape.precision) > 0
+        )
+        return ideal_seconds / total_seconds if total_seconds > 0 else 0.0
+
+    def evaluate(
+        self,
+        point: DesignPoint,
+        workload: GEMMWorkload | GEMMShape,
+        cache: Optional[TimingCache] = None,
+    ) -> EvaluationResult:
+        """Evaluate one design point on a workload (or a single GEMM shape)."""
+        config = point.to_config(self.base_config)
+        shapes = [workload] if isinstance(workload, GEMMShape) else list(workload)
+        if not shapes:
+            raise ValueError("workload has no GEMMs to evaluate")
+        env = memory_environment(config, config.num_nodes)
+        total_seconds, total_flops = self._time_shapes(config, shapes, env, cache)
+        gflops = total_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
+        efficiency = self._efficiency(config, shapes, gflops, total_seconds)
         node_area = config.cpu.area_mm2 + config.mmae.area_mm2
         node_power = config.cpu.power_w + config.mmae.power_w
         return EvaluationResult(
@@ -299,6 +356,66 @@ class DesignSpaceExplorer:
             node_area_mm2=node_area,
             node_power_w=node_power,
         )
+
+    def evaluate_graph(
+        self,
+        point: DesignPoint,
+        graph: WorkloadGraph,
+        cache: Optional[TimingCache] = None,
+    ) -> GraphEvaluationResult:
+        """Evaluate one design point per-phase on a workload graph.
+
+        Each phase's distinct shapes are timed once and scaled by its
+        ``repeat`` count, so an LLM decode block costs a handful of timing
+        walks regardless of how many tokens it folds; repeated shapes across
+        phases hit the shared :class:`~repro.core.perf.TimingCache`.
+        The aggregate result sums the phase times (phases are sequential and
+        data dependent), so per-phase seconds always sum to the aggregate.
+        """
+        config = point.to_config(self.base_config)
+        env = memory_environment(config, config.num_nodes)
+        phase_results: List[PhaseResult] = []
+        total_seconds = 0.0
+        total_flops = 0
+        all_shapes: List[GEMMShape] = []
+        all_weights: List[int] = []
+        for phase in graph.phases:
+            once_seconds, once_flops = self._time_shapes(config, phase.shapes, env, cache)
+            seconds = once_seconds * phase.repeat
+            flops = once_flops * phase.repeat
+            gflops = flops / seconds / 1e9 if seconds > 0 else 0.0
+            phase_results.append(
+                PhaseResult(
+                    name=phase.name,
+                    kind=phase.kind.value,
+                    step=phase.step,
+                    repeat=phase.repeat,
+                    seconds=seconds,
+                    gflops=gflops,
+                    efficiency=self._efficiency(
+                        config, phase.shapes, gflops, seconds,
+                        weights=[phase.repeat] * len(phase.shapes),
+                    ),
+                    state_bytes=phase.state_bytes,
+                )
+            )
+            total_seconds += seconds
+            total_flops += flops
+            all_shapes.extend(phase.shapes)
+            all_weights.extend([phase.repeat] * len(phase.shapes))
+
+        gflops = total_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
+        aggregate = EvaluationResult(
+            point=point,
+            config=config,
+            seconds=total_seconds,
+            gflops=gflops,
+            efficiency=self._efficiency(config, all_shapes, gflops, total_seconds,
+                                        weights=all_weights),
+            node_area_mm2=config.cpu.area_mm2 + config.mmae.area_mm2,
+            node_power_w=config.cpu.power_w + config.mmae.power_w,
+        )
+        return GraphEvaluationResult(aggregate=aggregate, phases=phase_results)
 
     def explore(
         self,
@@ -322,6 +439,27 @@ class DesignSpaceExplorer:
             runner = SweepRunner(jobs=jobs if jobs is not None else 1)
         results = runner.evaluate_points(points, workload, base_config=self.base_config)
         return sorted(results, key=key, reverse=True)
+
+    def explore_graph(
+        self,
+        points: Iterable[DesignPoint],
+        graph: WorkloadGraph,
+        objective: Callable[[EvaluationResult], float] | str = "gflops",
+        jobs: Optional[int] = None,
+        runner: Optional[object] = None,
+    ) -> List[GraphEvaluationResult]:
+        """Evaluate every point per-phase on a graph, sorted best-first by aggregate.
+
+        Same fan-out semantics as :meth:`explore`; every result carries the
+        per-phase breakdown alongside the aggregate used for ranking.
+        """
+        key = self._objective(objective)
+        from repro.core.batch import SweepRunner
+
+        if runner is None:
+            runner = SweepRunner(jobs=jobs if jobs is not None else 1)
+        results = runner.evaluate_points_on_graph(points, graph, base_config=self.base_config)
+        return sorted(results, key=lambda result: key(result.aggregate), reverse=True)
 
     def best(
         self,

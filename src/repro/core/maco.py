@@ -32,7 +32,6 @@ from repro.gemm.workloads import GEMMShape, GEMMWorkload
 from repro.mem.dram import DRAMModel
 from repro.mem.hostmem import HostMemory
 from repro.mem.l3cache import DistributedL3Cache
-from repro.mmae.dataflow import MemoryEnvironment
 from repro.noc.network import MeshNetwork
 
 

@@ -18,11 +18,9 @@ Two pieces are modelled:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional, Sequence
+from typing import List, Literal
 
-from repro.gemm.precision import Precision
 from repro.gemm.workloads import GEMMShape, GEMMWorkload
 
 SplitDimension = Literal["rows", "cols"]

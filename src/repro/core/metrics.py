@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
-from repro.gemm.precision import Precision
 from repro.gemm.workloads import GEMMShape
 from repro.mmae.dataflow import GEMMTimingBreakdown
 

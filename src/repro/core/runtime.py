@@ -10,11 +10,10 @@ and III.C describe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.core.compute_node import ComputeNode, GEMMSubmission
 from repro.core.config import MACOConfig, maco_default_config
 from repro.core.maco import MACOSystem
 from repro.cpu.exceptions import ExceptionType

@@ -9,7 +9,7 @@ operators of GEMM+ workloads).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cpu.mmu import MMU

@@ -19,7 +19,7 @@ running process, so any process can later retrieve the outcome of its task.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cpu.exceptions import ExceptionType

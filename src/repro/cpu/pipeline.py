@@ -12,7 +12,7 @@ loads that miss the cache hierarchy.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -10,7 +10,7 @@ for the context-switch cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.isa.registers import RegisterFile

@@ -15,7 +15,7 @@ talks to them through two small structural interfaces (:class:`MTQPort` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Protocol, runtime_checkable
 
 from repro.isa.instructions import (

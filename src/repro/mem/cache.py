@@ -9,8 +9,8 @@ and use the cache purely for hit/miss accounting and latency.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.mem.address import cache_index, cache_tag
 

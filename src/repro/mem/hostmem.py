@@ -9,7 +9,7 @@ the GEMM descriptor, mirroring how the MMAE receives operand pointers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

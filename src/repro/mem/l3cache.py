@@ -12,8 +12,8 @@ operations this model provides (Section IV.B, Fig. 5(b)):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.mem.address import AddressRange, DEFAULT_LINE_SIZE
 from repro.mem.cache import CacheConfig, SetAssociativeCache

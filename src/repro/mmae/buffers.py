@@ -10,7 +10,7 @@ exception of Table III) and so the double-buffering occupancy is explicit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.gemm.precision import Precision
 
@@ -122,8 +122,6 @@ class BufferSet:
 
     def max_tile_dim(self, precision: Precision, double_buffered: bool = True) -> int:
         """Largest square second-level tile the buffers support for a precision."""
-        element = precision.bytes_per_element
-        factor = 2 if double_buffered else 1
         dim = 1
         while True:
             candidate = dim * 2

@@ -19,10 +19,9 @@ Execution has two modes that share the same validation and queue machinery:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from repro.cpu.exceptions import ExceptionType, MMAETaskException
 from repro.gemm.precision import Precision
@@ -30,7 +29,7 @@ from repro.gemm.tiling import TileConfig, TwoLevelTiling
 from repro.gemm.workloads import GEMMShape
 from repro.isa.instructions import GEMMDescriptor, InitDescriptor, MoveDescriptor, StashDescriptor
 from repro.mem.address import AddressRange
-from repro.mem.hostmem import HostMemory, HostMemoryError
+from repro.mem.hostmem import HostMemory
 from repro.mem.l3cache import DistributedL3Cache, StashRequest
 from repro.mmae.buffers import BufferAllocationError, BufferSet
 from repro.mmae.data_engine import AcceleratorDataEngine

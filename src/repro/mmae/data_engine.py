@@ -12,7 +12,7 @@ the timing model charges for.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -22,7 +22,7 @@ from repro.isa.instructions import GEMMDescriptor
 from repro.mem.hostmem import HostMemory
 from repro.mem.page_table import PageFaultError
 from repro.mmae.buffers import BufferSet
-from repro.mmae.dma import DMAEngine, DMATransferResult
+from repro.mmae.dma import DMAEngine
 from repro.mmae.matlb import MATLB, MatrixLayout
 
 

@@ -12,8 +12,7 @@ controllers (the Fig. 7 effect).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.mem.address import DEFAULT_LINE_SIZE
 

@@ -10,7 +10,7 @@ Buffered tasks execute automatically once the active entry completes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from repro.cpu.exceptions import ExceptionType

@@ -182,7 +182,6 @@ class SystolicArrayEmulator:
         # partial[r][c] holds the value travelling from PE (r-1, c) to PE (r, c).
         partial = np.zeros((self.rows + 1, self.cols), dtype=acc_dtype)
         a_in_flight = np.zeros((self.rows, self.cols + 1), dtype=acc_dtype)
-        macs = 0
         for cycle in range(total_cycles):
             new_partial = np.zeros_like(partial)
             new_a = np.zeros_like(a_in_flight)
@@ -197,7 +196,6 @@ class SystolicArrayEmulator:
                     a_value = new_a[r, 0] if c == 0 else a_in_flight[r, c]
                     p_value = partial[r, c]
                     result = self.pes[r][c].mac([float(a_value)], [float(p_value)])[0]
-                    macs += 1
                     new_partial[r + 1, c] = result
                     new_a[r, c + 1] = a_value
             partial = new_partial

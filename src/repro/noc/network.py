@@ -10,7 +10,7 @@ large parameter sweeps use the closed-form :class:`~repro.noc.contention.NocCont
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.noc.flit import Packet

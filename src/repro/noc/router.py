@@ -7,7 +7,7 @@ simulate individual flit pipelines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.noc.flit import Packet

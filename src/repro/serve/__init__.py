@@ -31,6 +31,7 @@ from repro.serve.scheduler import (
 from repro.serve.simulator import (
     TENANT_SWITCH_FLUSH_CYCLES,
     ServeSimulator,
+    estimate_phase_service_seconds,
     estimate_service_seconds,
 )
 from repro.serve.trace import (
@@ -39,6 +40,7 @@ from repro.serve.trace import (
     TenantSpec,
     bursty_trace,
     default_tenants,
+    llm_tenants,
     poisson_trace,
     replay_trace,
 )
@@ -48,6 +50,7 @@ __all__ = [
     "RequestTrace",
     "TenantSpec",
     "default_tenants",
+    "llm_tenants",
     "poisson_trace",
     "bursty_trace",
     "replay_trace",
@@ -58,6 +61,7 @@ __all__ = [
     "SCHEDULER_NAMES",
     "scheduler_by_name",
     "ServeSimulator",
+    "estimate_phase_service_seconds",
     "estimate_service_seconds",
     "TENANT_SWITCH_FLUSH_CYCLES",
     "TenantStats",

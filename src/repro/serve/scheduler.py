@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict, deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.serve.trace import Request
 

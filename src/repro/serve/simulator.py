@@ -43,6 +43,7 @@ from repro.serve.trace import Request, RequestTrace, TenantSpec
 
 __all__ = [
     "TENANT_SWITCH_FLUSH_CYCLES",
+    "estimate_phase_service_seconds",
     "estimate_service_seconds",
     "ServeSimulator",
 ]
@@ -55,6 +56,70 @@ __all__ = [
 TENANT_SWITCH_FLUSH_CYCLES = 1024
 
 
+def estimate_phase_service_seconds(
+    config: MACOConfig,
+    workload_name: str,
+    precision: Precision,
+    active_nodes: int,
+    cache: Optional[TimingCache] = None,
+) -> List[Tuple[str, float]]:
+    """Per-phase analytic service time of one model invocation on one node.
+
+    The request runs alone on its node but shares the memory system with the
+    rest of the fleet, so the per-layer GEMM estimates use the
+    ``active_nodes``-way contended :func:`~repro.core.perf.memory_environment`
+    (the steady-state worst case for a loaded fleet).  Each phase of the
+    workload graph is scheduled independently — its GEMM stream on the MMAE,
+    its element-wise tail on the node's CPU core, its stash prefetch traffic
+    at the node's DRAM bandwidth share, combined through the same
+    :func:`~repro.core.mapping.schedule_gemm_plus` overlap model as
+    :meth:`~repro.core.maco.MACOSystem.run_workload` — and phases execute in
+    order (prefill feeds decode), so the request's service time is the sum.
+    A phase times its distinct shapes once and scales by the phase ``repeat``
+    count: every decode step after the first reuses the
+    :class:`~repro.core.perf.TimingCache` entries of its block.
+    """
+    from repro.workloads.registry import workload_graph_by_name
+
+    graph = workload_graph_by_name(workload_name, precision)
+    env = memory_environment(config, active_nodes)
+    if not config.mapping_scheme_enabled:
+        env = unmapped_memory_environment(env)
+    cpu_cfg = config.cpu
+    core = CPUCore(
+        frequency_hz=cpu_cfg.frequency_hz,
+        fmac_lanes=cpu_cfg.fmac_lanes,
+        issue_width=cpu_cfg.issue_width,
+        memory_bandwidth_bytes_per_s=cpu_cfg.memory_bandwidth_bytes_per_s,
+    )
+    dram = DRAMModel(config=config.memory.dram)
+    stash_bandwidth = dram.effective_bandwidth(active_nodes) / active_nodes
+
+    results: List[Tuple[str, float]] = []
+    for phase in graph.phases:
+        gemm_seconds = 0.0
+        stash_bytes = 0
+        for shape in phase.shapes:
+            timing = estimate_node_gemm_cached(
+                config, shape, active_nodes=active_nodes, env=env, cache=cache,
+            )
+            gemm_seconds += timing.seconds
+            stash_bytes += partition_gemm(shape, 1).stash_bytes
+        gemm_seconds *= phase.repeat
+        stash_bytes *= phase.repeat
+        cpu_seconds = core.run_elementwise(
+            phase.non_gemm_flops * phase.repeat, phase.non_gemm_bytes * phase.repeat
+        ).seconds
+        schedule = schedule_gemm_plus(
+            mmae_seconds=gemm_seconds,
+            cpu_seconds=cpu_seconds,
+            stash_seconds=stash_bytes / stash_bandwidth,
+            mapping_enabled=config.mapping_scheme_enabled,
+        )
+        results.append((phase.name, schedule.total_seconds))
+    return results
+
+
 def estimate_service_seconds(
     config: MACOConfig,
     workload_name: str,
@@ -64,48 +129,21 @@ def estimate_service_seconds(
 ) -> float:
     """Analytic service time of one model invocation on one compute node.
 
-    The request runs alone on its node but shares the memory system with the
-    rest of the fleet, so the per-layer GEMM estimates use the
-    ``active_nodes``-way contended :func:`~repro.core.perf.memory_environment`
-    (the steady-state worst case for a loaded fleet).  The non-GEMM tail runs
-    on the node's own CPU core and the stash prefetch traffic is charged at
-    the node's DRAM bandwidth share; the three components combine through the
-    same :func:`~repro.core.mapping.schedule_gemm_plus` overlap model as
-    :meth:`~repro.core.maco.MACOSystem.run_workload`.
+    The sum of the per-phase estimates — see
+    :func:`estimate_phase_service_seconds` for the contention and overlap
+    model.  For single-phase graphs (``bert``, ``gpt3``) this reduces to the
+    flat GEMM-stream estimate of the whole workload; multi-phase graphs
+    (``resnet50`` is now one phase per conv stage, LLM graphs one per
+    prefill/decode block) schedule each phase's GEMM/CPU/stash overlap
+    independently, so their estimates are slightly more conservative than
+    the old whole-network overlap (phase boundaries are barriers).
     """
-    from repro.workloads.registry import workload_by_name
-
-    workload = workload_by_name(workload_name, precision)
-    env = memory_environment(config, active_nodes)
-    if not config.mapping_scheme_enabled:
-        env = unmapped_memory_environment(env)
-    gemm_seconds = 0.0
-    stash_bytes = 0
-    for shape in workload:
-        timing = estimate_node_gemm_cached(
-            config, shape, active_nodes=active_nodes, env=env, cache=cache,
+    return sum(
+        seconds
+        for _, seconds in estimate_phase_service_seconds(
+            config, workload_name, precision, active_nodes, cache=cache
         )
-        gemm_seconds += timing.seconds
-        stash_bytes += partition_gemm(shape, 1).stash_bytes
-
-    cpu_cfg = config.cpu
-    core = CPUCore(
-        frequency_hz=cpu_cfg.frequency_hz,
-        fmac_lanes=cpu_cfg.fmac_lanes,
-        issue_width=cpu_cfg.issue_width,
-        memory_bandwidth_bytes_per_s=cpu_cfg.memory_bandwidth_bytes_per_s,
     )
-    cpu_seconds = core.run_elementwise(workload.non_gemm_flops, workload.non_gemm_bytes).seconds
-
-    dram = DRAMModel(config=config.memory.dram)
-    stash_seconds = stash_bytes / (dram.effective_bandwidth(active_nodes) / active_nodes)
-    schedule = schedule_gemm_plus(
-        mmae_seconds=gemm_seconds,
-        cpu_seconds=cpu_seconds,
-        stash_seconds=stash_seconds,
-        mapping_enabled=config.mapping_scheme_enabled,
-    )
-    return schedule.total_seconds
 
 
 def _service_worker(payload) -> float:
@@ -171,6 +209,19 @@ class ServeSimulator:
                 active_nodes=self.system.num_nodes, cache=self.runner.cache,
             )
         return self._services[key]
+
+    def phase_profile(
+        self, workload_name: str, precision: Precision = Precision.FP32
+    ) -> List[Tuple[str, float]]:
+        """Per-phase service seconds of one workload on this fleet.
+
+        The breakdown that :meth:`service_seconds` sums — useful to see why a
+        decode-heavy request behaves differently from a prefill-heavy one.
+        """
+        return estimate_phase_service_seconds(
+            self.system.config, workload_name, precision,
+            active_nodes=self.system.num_nodes, cache=self.runner.cache,
+        )
 
     def _ensure_services(self, pairs: Sequence[Tuple[str, Precision]]) -> None:
         """Estimate the given (workload, precision) pairs, fanning out over the runner's pool."""

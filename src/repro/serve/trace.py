@@ -34,6 +34,7 @@ __all__ = [
     "TenantSpec",
     "RequestTrace",
     "default_tenants",
+    "llm_tenants",
     "poisson_trace",
     "bursty_trace",
     "replay_trace",
@@ -178,6 +179,44 @@ def default_tenants(count: int, rate_rps: float = 8.0) -> List[TenantSpec]:
         others = [name for name in names if name != dominant]
         mix = [(dominant, 0.7)] + [(name, 0.3 / len(others)) for name in others]
         specs.append(TenantSpec(name=f"tenant{index}", rate_rps=rate_rps, mix=tuple(mix)))
+    return specs
+
+
+def llm_tenants(count: int, rate_rps: float = 8.0, variant: str = "llama-7b") -> List[TenantSpec]:
+    """``count`` LLM tenants alternating prefill-heavy and decode-heavy mixes.
+
+    Even-indexed tenants lean 80% on the prompt-ingest phase graph
+    (``variant@prefill``) and odd-indexed tenants 80% on token generation
+    (``variant@decode``), so a multi-tenant trace exercises both ends of the
+    prefill/decode spectrum against the same fleet.  The registry names are
+    resolved through :func:`repro.workloads.workload_graph_by_name`, so any
+    catalog LLM variant works.
+    """
+    if count < 1:
+        raise ValueError(f"tenant count must be >= 1, got {count}")
+    # ``variant`` may already carry an @spec (e.g. "llama-7b@layers=2"); the
+    # phase tag then joins the existing parameter list instead.  It must not
+    # already select phases, though — the tenants are defined by adding the
+    # prefill/decode split on top.
+    spec = variant.partition("@")[2]
+    # The registry resolves names case-insensitively, so normalize before
+    # matching phase tags.
+    tokens = [token.strip().lower() for token in spec.split(",") if token.strip()]
+    if any(token in ("prefill", "decode") or token.startswith("phases=") for token in tokens):
+        raise ValueError(
+            f"variant {variant!r} already selects phases; pass the base variant "
+            f"(e.g. 'llama-7b' or 'llama-7b@layers=2') and llm_tenants will add "
+            f"the prefill/decode split per tenant")
+    separator = "," if "@" in variant else "@"
+    prefill = f"{variant}{separator}prefill"
+    decode = f"{variant}{separator}decode"
+    specs = []
+    for index in range(count):
+        if index % 2 == 0:
+            name, mix = f"tenant{index}-prefill", ((prefill, 0.8), (decode, 0.2))
+        else:
+            name, mix = f"tenant{index}-decode", ((decode, 0.8), (prefill, 0.2))
+        specs.append(TenantSpec(name=name, rate_rps=rate_rps, mix=mix))
     return specs
 
 

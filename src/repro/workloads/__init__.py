@@ -1,9 +1,12 @@
-"""Deep-learning workload models: the GEMM streams of ResNet-50, BERT and GPT-3.
+"""Deep-learning workload models and the phase-aware workload IR.
 
-The Fig. 8 comparison runs these three networks in FP32 inference.  The
-evaluation only needs the sequence of GEMMs each network performs (plus the
-element-wise tail operators for the GEMM+ mapping study), so each model is a
-layer-shape description that expands into a :class:`~repro.gemm.workloads.GEMMWorkload`.
+The Fig. 8 comparison runs ResNet-50, BERT and GPT-3 in FP32 inference; the
+scenario catalog extends the set with LLM prefill/decode
+(:mod:`repro.workloads.llm`), conv-only ResNet stages and mixture-of-experts
+FFNs (:mod:`repro.workloads.moe`).  Every network is described as a
+:class:`~repro.workloads.graph.WorkloadGraph` — an ordered list of GEMM
+phases with footprint/reuse/state metadata — which ``flatten()`` lowers to
+the legacy :class:`~repro.gemm.workloads.GEMMWorkload` for flat consumers.
 """
 
 from repro.workloads.layers import (
@@ -14,10 +17,28 @@ from repro.workloads.layers import (
     attention_gemms,
     elementwise_cost,
 )
-from repro.workloads.resnet50 import resnet50_workload, RESNET50_LAYERS
-from repro.workloads.bert import bert_workload, BERT_BASE, BERT_LARGE
-from repro.workloads.gpt3 import gpt3_workload, GPT3_CONFIGS
-from repro.workloads.registry import dl_benchmark_suite, workload_by_name, workload_names
+from repro.workloads.graph import Phase, PhaseKind, WorkloadGraph
+from repro.workloads.resnet50 import resnet50_graph, resnet50_workload, RESNET50_LAYERS
+from repro.workloads.bert import bert_graph, bert_workload, encoder_layer_phase, BERT_BASE, BERT_LARGE
+from repro.workloads.gpt3 import gpt3_graph, gpt3_workload, GPT3_CONFIGS
+from repro.workloads.llm import (
+    LLAMA_CONFIGS,
+    kv_cache_bytes,
+    llm_decode_phases,
+    llm_prefill_phase,
+    llm_workload_graph,
+)
+from repro.workloads.moe import MoEConfig, moe_workload_graph
+from repro.workloads.registry import (
+    WorkloadVariant,
+    catalog_entry,
+    describe_workload,
+    dl_benchmark_suite,
+    workload_by_name,
+    workload_catalog,
+    workload_graph_by_name,
+    workload_names,
+)
 
 __all__ = [
     "LayerKind",
@@ -26,14 +47,33 @@ __all__ = [
     "linear_gemm",
     "attention_gemms",
     "elementwise_cost",
+    "Phase",
+    "PhaseKind",
+    "WorkloadGraph",
+    "resnet50_graph",
     "resnet50_workload",
     "RESNET50_LAYERS",
+    "bert_graph",
     "bert_workload",
+    "encoder_layer_phase",
     "BERT_BASE",
     "BERT_LARGE",
+    "gpt3_graph",
     "gpt3_workload",
     "GPT3_CONFIGS",
+    "LLAMA_CONFIGS",
+    "kv_cache_bytes",
+    "llm_decode_phases",
+    "llm_prefill_phase",
+    "llm_workload_graph",
+    "MoEConfig",
+    "moe_workload_graph",
+    "WorkloadVariant",
+    "catalog_entry",
+    "describe_workload",
     "dl_benchmark_suite",
     "workload_by_name",
+    "workload_catalog",
+    "workload_graph_by_name",
     "workload_names",
 ]

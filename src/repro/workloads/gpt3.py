@@ -13,12 +13,14 @@ GEMM-dominant phase relevant to a matrix engine.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict
 
 from repro.gemm.precision import Precision
 from repro.gemm.workloads import GEMMWorkload
-from repro.workloads.bert import TransformerConfig
-from repro.workloads.layers import attention_gemms, elementwise_cost, linear_gemm
+from repro.workloads.bert import TransformerConfig, encoder_layer_phase
+from repro.workloads.graph import WorkloadGraph
+from repro.workloads.llm import kv_cache_bytes
 
 #: Published GPT-3 model family configurations (Brown et al., Table 2.1).
 GPT3_CONFIGS: Dict[str, TransformerConfig] = {
@@ -34,18 +36,19 @@ GPT3_CONFIGS: Dict[str, TransformerConfig] = {
 }
 
 
-def gpt3_workload(
+def gpt3_graph(
     variant: str = "gpt3-2.7b",
     batch: int = 4,
     seq_len: int = 1024,
     num_layers: int | None = None,
     precision: Precision = Precision.FP32,
-) -> GEMMWorkload:
-    """GPT-3 prefill for a batch of prompts, expressed as a GEMM workload.
+) -> WorkloadGraph:
+    """GPT-3 prompt processing as a single PREFILL phase graph.
 
     ``num_layers`` overrides the variant's depth (useful for a fixed-work proxy);
     attention is causal but the GEMM shapes are the same as full attention, which
-    is how matrix engines execute the prefill phase.
+    is how matrix engines execute the prefill phase.  ``state_bytes`` carries
+    the KV cache the prefill leaves behind for a subsequent decode.
     """
     if variant not in GPT3_CONFIGS:
         raise ValueError(f"unknown GPT-3 variant {variant!r}; options: {sorted(GPT3_CONFIGS)}")
@@ -55,22 +58,24 @@ def gpt3_workload(
     layers = num_layers if num_layers is not None else config.layers
     if layers <= 0:
         raise ValueError("layer count must be positive")
-    workload = GEMMWorkload(name=f"{config.name}-b{batch}-s{seq_len}-l{layers}")
-    tokens = batch * seq_len
-    elementwise_flops = 0
-    elementwise_bytes = 0
-    for _ in range(layers):
-        for shape in attention_gemms(batch, seq_len, config.hidden, config.heads, precision):
-            workload.add(shape)
-        workload.add(linear_gemm(tokens, config.hidden, config.intermediate, precision))
-        workload.add(linear_gemm(tokens, config.intermediate, config.hidden, precision))
-        softmax_elements = batch * config.heads * seq_len * seq_len
-        norm_elements = 2 * tokens * config.hidden
-        gelu_elements = tokens * config.intermediate
-        for elements, flops_per in ((softmax_elements, 5.0), (norm_elements, 6.0), (gelu_elements, 8.0)):
-            flops, bytes_touched = elementwise_cost(elements, flops_per, precision)
-            elementwise_flops += flops
-            elementwise_bytes += bytes_touched
-    workload.non_gemm_flops = elementwise_flops
-    workload.non_gemm_bytes = elementwise_bytes
-    return workload
+    proxy = replace(config, layers=layers)
+    base = encoder_layer_phase(proxy, batch, seq_len, precision, name=f"prefill[{seq_len}]")
+    # The prefill leaves a KV cache behind for a subsequent decode.
+    phase = replace(base, state_bytes=kv_cache_bytes(proxy, batch, seq_len, layers, precision))
+    return WorkloadGraph(
+        name=f"{config.name}-b{batch}-s{seq_len}-l{layers}",
+        phases=[phase],
+        params={"variant": config.name, "batch": batch, "seq_len": seq_len,
+                "layers": layers, "precision": precision.value},
+    )
+
+
+def gpt3_workload(
+    variant: str = "gpt3-2.7b",
+    batch: int = 4,
+    seq_len: int = 1024,
+    num_layers: int | None = None,
+    precision: Precision = Precision.FP32,
+) -> GEMMWorkload:
+    """GPT-3 prefill for a batch of prompts, expressed as a flat GEMM workload."""
+    return gpt3_graph(variant, batch, seq_len, num_layers, precision).flatten()

@@ -1,0 +1,300 @@
+"""Phase-aware workload IR: networks as ordered streams of GEMM phases.
+
+The Fig. 8 evaluation treats a network as one flat GEMM list, which is fine
+for a single inference pass but loses exactly the structure that serving and
+design-space studies care about: an LLM's prefill and decode phases have
+radically different GEMM shapes and reuse, a ResNet's conv stages shrink
+spatially while growing in channels, and a mixture-of-experts FFN routes a
+token subset through each expert.  The :class:`WorkloadGraph` IR keeps that
+structure: a named, ordered list of :class:`Phase` objects, each carrying its
+GEMM shapes plus the metadata the consumers need —
+
+* **footprint** — unique operand bytes streamed per execution of the phase;
+* **reuse** — FLOPs per byte (arithmetic intensity), the roofline axis that
+  separates compute-bound prefill from bandwidth-bound decode;
+* **growth over steps** — ``step`` orders decode phases and ``state_bytes``
+  records the resident state (e.g. the KV cache) at that step, so consumers
+  can see the footprint grow token by token.
+
+``flatten()`` lowers a graph back to the legacy
+:class:`~repro.gemm.workloads.GEMMWorkload` for consumers that do not care
+about phases (Fig. 8, the baselines); ``to_json``/``from_json`` round-trip
+the IR for export and replay.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.gemm.precision import Precision
+from repro.gemm.workloads import GEMMShape, GEMMWorkload
+
+__all__ = ["PhaseKind", "Phase", "WorkloadGraph"]
+
+
+class PhaseKind(enum.Enum):
+    """What a phase computes, at the granularity the timing consumers use."""
+
+    PREFILL = "prefill"  # full-sequence transformer pass (prompt processing)
+    DECODE = "decode"  # per-token autoregressive step against a KV cache
+    CONV = "conv"  # im2col-lowered convolution stage
+    LINEAR = "linear"  # fully-connected layers
+    MOE = "moe"  # routed mixture-of-experts FFN
+    GENERIC = "generic"  # anything else (legacy flat workloads)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One ordered stage of a workload: a GEMM stream plus its metadata.
+
+    ``shapes`` and the non-GEMM tail describe a *single* execution of the
+    phase; ``repeat`` folds consecutive identical executions (e.g. the
+    per-layer GEMM set of a transformer, or the per-token GEMMs of a decode
+    block) so a 32-layer network stays a handful of phases.  ``step`` orders
+    phases that model progress through time (decode blocks), and
+    ``state_bytes`` is the resident state the phase needs beyond its
+    streaming operands — the KV cache for decode, the expert weights for MoE.
+    """
+
+    name: str
+    kind: PhaseKind
+    shapes: Tuple[GEMMShape, ...]
+    non_gemm_flops: int = 0
+    non_gemm_bytes: int = 0
+    repeat: int = 1
+    step: int = 0
+    state_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError(f"phase {self.name!r} has no GEMMs")
+        if self.repeat <= 0:
+            raise ValueError(f"phase {self.name!r}: repeat must be positive")
+        if self.non_gemm_flops < 0 or self.non_gemm_bytes < 0 or self.state_bytes < 0:
+            raise ValueError(f"phase {self.name!r}: work and state cannot be negative")
+        if self.step < 0:
+            raise ValueError(f"phase {self.name!r}: step cannot be negative")
+
+    # ------------------------------------------------------------- per-execution
+    @property
+    def gemm_flops(self) -> int:
+        """GEMM FLOPs of one execution of the phase."""
+        return sum(shape.flops for shape in self.shapes)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Unique operand bytes one execution streams (A + B + C of every GEMM)."""
+        return sum(shape.total_bytes for shape in self.shapes)
+
+    @property
+    def reuse(self) -> float:
+        """FLOPs per operand byte — the roofline arithmetic intensity."""
+        total_bytes = self.footprint_bytes + self.non_gemm_bytes
+        if total_bytes == 0:
+            return 0.0
+        return (self.gemm_flops + self.non_gemm_flops) / total_bytes
+
+    # ------------------------------------------------------------------- totals
+    @property
+    def total_gemm_flops(self) -> int:
+        """GEMM FLOPs across all ``repeat`` executions."""
+        return self.gemm_flops * self.repeat
+
+    @property
+    def total_flops(self) -> int:
+        """GEMM plus non-GEMM FLOPs across all ``repeat`` executions."""
+        return (self.gemm_flops + self.non_gemm_flops) * self.repeat
+
+    @property
+    def total_bytes(self) -> int:
+        """Operand bytes streamed across all ``repeat`` executions."""
+        return (self.footprint_bytes + self.non_gemm_bytes) * self.repeat
+
+    # --------------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """The phase as plain JSON-able data (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "shapes": [
+                {
+                    "m": shape.m,
+                    "n": shape.n,
+                    "k": shape.k,
+                    "precision": shape.precision.value,
+                }
+                for shape in self.shapes
+            ],
+            "non_gemm_flops": self.non_gemm_flops,
+            "non_gemm_bytes": self.non_gemm_bytes,
+            "repeat": self.repeat,
+            "step": self.step,
+            "state_bytes": self.state_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "Phase":
+        """Rebuild a phase from :meth:`to_dict` output (exact round trip)."""
+        try:
+            shapes = tuple(
+                GEMMShape(
+                    int(entry["m"]),
+                    int(entry["n"]),
+                    int(entry["k"]),
+                    Precision.from_string(entry.get("precision", "fp32")),
+                )
+                for entry in record["shapes"]
+            )
+            return cls(
+                name=str(record["name"]),
+                kind=PhaseKind(record.get("kind", "generic")),
+                shapes=shapes,
+                non_gemm_flops=int(record.get("non_gemm_flops", 0)),
+                non_gemm_bytes=int(record.get("non_gemm_bytes", 0)),
+                repeat=int(record.get("repeat", 1)),
+                step=int(record.get("step", 0)),
+                state_bytes=int(record.get("state_bytes", 0)),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed phase record: {record!r}") from error
+
+
+@dataclass
+class WorkloadGraph:
+    """A network lowered to an ordered list of GEMM phases.
+
+    ``params`` records how the graph was generated (variant, batch, sequence
+    lengths, ...) so exports are self-describing; it does not affect timing.
+    """
+
+    name: str
+    phases: List[Phase] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError(f"workload graph {self.name!r} has no phases")
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    # ------------------------------------------------------------------- totals
+    @property
+    def gemm_flops(self) -> int:
+        """Total GEMM FLOPs across every phase execution."""
+        return sum(phase.total_gemm_flops for phase in self.phases)
+
+    @property
+    def non_gemm_flops(self) -> int:
+        """Total non-GEMM (element-wise tail) FLOPs across every phase."""
+        return sum(phase.non_gemm_flops * phase.repeat for phase in self.phases)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(phase.total_flops for phase in self.phases)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Operand bytes streamed over the whole graph."""
+        return sum(phase.total_bytes for phase in self.phases)
+
+    @property
+    def peak_state_bytes(self) -> int:
+        """Largest resident state any phase needs (e.g. the final KV cache)."""
+        return max(phase.state_bytes for phase in self.phases)
+
+    @property
+    def phase_names(self) -> List[str]:
+        return [phase.name for phase in self.phases]
+
+    def state_growth(self) -> List[Tuple[str, int]]:
+        """``(phase name, state_bytes)`` in phase order — how state grows."""
+        return [(phase.name, phase.state_bytes) for phase in self.phases]
+
+    # ------------------------------------------------------------------ lowering
+    def flatten(self, name: Optional[str] = None) -> GEMMWorkload:
+        """Lower to the legacy flat :class:`GEMMWorkload` (phases expanded in order)."""
+        shapes: List[GEMMShape] = []
+        non_gemm_flops = 0
+        non_gemm_bytes = 0
+        for phase in self.phases:
+            for _ in range(phase.repeat):
+                shapes.extend(phase.shapes)
+            non_gemm_flops += phase.non_gemm_flops * phase.repeat
+            non_gemm_bytes += phase.non_gemm_bytes * phase.repeat
+        return GEMMWorkload(
+            name=name if name is not None else self.name,
+            shapes=shapes,
+            non_gemm_flops=non_gemm_flops,
+            non_gemm_bytes=non_gemm_bytes,
+        )
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: GEMMWorkload,
+        kind: PhaseKind = PhaseKind.GENERIC,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> "WorkloadGraph":
+        """Wrap a legacy flat workload as a single-phase graph."""
+        phase = Phase(
+            name=workload.name,
+            kind=kind,
+            shapes=tuple(workload.shapes),
+            non_gemm_flops=workload.non_gemm_flops,
+            non_gemm_bytes=workload.non_gemm_bytes,
+        )
+        return cls(name=workload.name, phases=[phase], params=dict(params or {}))
+
+    # --------------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "phases": [phase.to_dict() for phase in self.phases],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Stable JSON text (sorted keys, so identical graphs compare equal)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "WorkloadGraph":
+        try:
+            phases = [Phase.from_dict(entry) for entry in record["phases"]]
+            return cls(
+                name=str(record["name"]),
+                phases=phases,
+                params=dict(record.get("params", {})),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed workload graph record: {record!r}") from error
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadGraph":
+        return cls.from_dict(json.loads(text))
+
+    # ---------------------------------------------------------------- reporting
+    def summary_rows(self) -> List[List[object]]:
+        """Per-phase description rows for the CLI ``workloads describe`` table."""
+        rows: List[List[object]] = []
+        for phase in self.phases:
+            rows.append(
+                [
+                    phase.name,
+                    phase.kind.value,
+                    phase.repeat,
+                    len(phase.shapes),
+                    phase.total_gemm_flops / 1e9,
+                    phase.footprint_bytes / 1e6,
+                    phase.state_bytes / 1e6,
+                    phase.reuse,
+                ]
+            )
+        return rows

@@ -1,0 +1,222 @@
+"""LLM inference as a phase-aware workload: prefill plus KV-cache-growing decode.
+
+Autoregressive LLM serving has two phases with opposite characters, and the
+address-translation behaviour the paper studies (Fig. 6/8) is sensitive to
+exactly this difference:
+
+* **prefill** — the whole prompt is processed in one pass; GEMMs are large
+  and square-ish (``tokens x hidden``), arithmetic intensity is high, and
+  the matrix engine runs compute-bound;
+* **decode** — one token per step and per sequence; the projections collapse
+  to skinny ``batch x hidden`` GEMMs while the attention GEMMs read the whole
+  KV cache, which grows by one entry per generated token.  The phase is
+  bandwidth-bound and its footprint grows step by step.
+
+The generators here model LLaMA-style decoder layers (grouped attention
+projections, SwiGLU MLP with gate/up/down matrices) and emit a
+:class:`~repro.workloads.graph.WorkloadGraph`: one PREFILL phase (folded over
+the layers) followed by DECODE phases grouped into blocks of ``decode_block``
+tokens, each charged the KV length at the end of its block (a conservative
+upper bound) and tagged with the resident KV-cache bytes at that step.
+Grouping keeps the phase count — and the number of distinct GEMM shapes the
+:class:`~repro.core.perf.TimingCache` must walk — bounded for any token count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gemm.precision import Precision
+from repro.gemm.workloads import GEMMShape
+from repro.workloads.bert import TransformerConfig
+from repro.workloads.graph import Phase, PhaseKind, WorkloadGraph
+from repro.workloads.layers import attention_gemms, elementwise_cost, linear_gemm
+
+__all__ = [
+    "LLAMA_CONFIGS",
+    "kv_cache_bytes",
+    "llm_prefill_phase",
+    "llm_decode_phases",
+    "llm_workload_graph",
+]
+
+#: Published LLaMA model family configurations (Touvron et al., 2023).
+LLAMA_CONFIGS: Dict[str, TransformerConfig] = {
+    "tinyllama-1.1b": TransformerConfig(
+        "tinyllama-1.1b", layers=22, hidden=2048, heads=32, intermediate=5632
+    ),
+    "llama-7b": TransformerConfig("llama-7b", layers=32, hidden=4096, heads=32, intermediate=11008),
+    "llama-13b": TransformerConfig("llama-13b", layers=40, hidden=5120, heads=40, intermediate=13824),
+}
+
+
+def kv_cache_bytes(
+    config: TransformerConfig, batch: int, kv_len: int, layers: int, precision: Precision
+) -> int:
+    """Resident KV-cache bytes for ``batch`` sequences of ``kv_len`` tokens."""
+    return 2 * batch * kv_len * config.hidden * layers * precision.bytes_per_element
+
+
+def _mlp_gemms(tokens: int, config: TransformerConfig, precision: Precision) -> List[GEMMShape]:
+    """SwiGLU MLP: gate and up projections then the down projection."""
+    return [
+        linear_gemm(tokens, config.hidden, config.intermediate, precision),  # gate
+        linear_gemm(tokens, config.hidden, config.intermediate, precision),  # up
+        linear_gemm(tokens, config.intermediate, config.hidden, precision),  # down
+    ]
+
+
+def _layer_tail(
+    batch: int, new_tokens: int, kv_len: int, config: TransformerConfig, precision: Precision
+) -> Tuple[int, int]:
+    """Element-wise tail (softmax, norms, SiLU) of one decoder layer."""
+    tokens = batch * new_tokens
+    softmax_elements = batch * config.heads * new_tokens * kv_len
+    norm_elements = 2 * tokens * config.hidden
+    silu_elements = 2 * tokens * config.intermediate  # SiLU(gate) * up
+    flops = 0
+    bytes_touched = 0
+    for elements, flops_per in ((softmax_elements, 5.0), (norm_elements, 6.0), (silu_elements, 8.0)):
+        tail_flops, tail_bytes = elementwise_cost(elements, flops_per, precision)
+        flops += tail_flops
+        bytes_touched += tail_bytes
+    return flops, bytes_touched
+
+
+def llm_prefill_phase(
+    config: TransformerConfig,
+    batch: int,
+    prompt_len: int,
+    layers: int,
+    precision: Precision = Precision.FP32,
+) -> Phase:
+    """The prompt-processing phase: one full-sequence pass, folded over layers."""
+    shapes = tuple(
+        attention_gemms(batch, prompt_len, config.hidden, config.heads, precision)
+        + _mlp_gemms(batch * prompt_len, config, precision)
+    )
+    tail_flops, tail_bytes = _layer_tail(batch, prompt_len, prompt_len, config, precision)
+    return Phase(
+        name=f"prefill[{prompt_len}]",
+        kind=PhaseKind.PREFILL,
+        shapes=shapes,
+        non_gemm_flops=tail_flops,
+        non_gemm_bytes=tail_bytes,
+        repeat=layers,
+        step=0,
+        state_bytes=kv_cache_bytes(config, batch, prompt_len, layers, precision),
+    )
+
+
+def llm_decode_phases(
+    config: TransformerConfig,
+    batch: int,
+    prompt_len: int,
+    decode_tokens: int,
+    decode_block: int,
+    layers: int,
+    precision: Precision = Precision.FP32,
+    first_step: int = 1,
+) -> List[Phase]:
+    """Per-token decode steps, grouped into blocks of ``decode_block`` tokens.
+
+    Every token in a block is charged the KV length at the block's end, so the
+    grouping is a conservative (never optimistic) approximation whose error
+    shrinks as ``decode_block`` does; ``decode_block=1`` models every step
+    exactly.  The per-token GEMM set repeats ``layers * tokens_in_block``
+    times, so a block contributes one phase and a handful of distinct shapes.
+    """
+    if decode_tokens < 0:
+        raise ValueError(f"decode token count cannot be negative, got {decode_tokens}")
+    if decode_block <= 0:
+        raise ValueError(f"decode block must be positive, got {decode_block}")
+    head_dim = config.hidden // config.heads
+    phases: List[Phase] = []
+    start = 0
+    step = first_step
+    while start < decode_tokens:
+        end = min(start + decode_block, decode_tokens)
+        kv_len = prompt_len + end
+        shapes = (
+            # Q/K/V projections of the one new token per sequence.
+            linear_gemm(batch, config.hidden, config.hidden, precision),
+            linear_gemm(batch, config.hidden, config.hidden, precision),
+            linear_gemm(batch, config.hidden, config.hidden, precision),
+            # Attention against the whole KV cache: logits then context.
+            GEMMShape(batch * config.heads, kv_len, head_dim, precision),
+            GEMMShape(batch * config.heads, head_dim, kv_len, precision),
+            # Output projection and the SwiGLU MLP.
+            linear_gemm(batch, config.hidden, config.hidden, precision),
+        ) + tuple(_mlp_gemms(batch, config, precision))
+        tail_flops, tail_bytes = _layer_tail(batch, 1, kv_len, config, precision)
+        phases.append(
+            Phase(
+                name=f"decode[{prompt_len + start}:{kv_len}]",
+                kind=PhaseKind.DECODE,
+                shapes=shapes,
+                non_gemm_flops=tail_flops,
+                non_gemm_bytes=tail_bytes,
+                repeat=layers * (end - start),
+                step=step,
+                state_bytes=kv_cache_bytes(config, batch, kv_len, layers, precision),
+            )
+        )
+        start = end
+        step += 1
+    return phases
+
+
+def llm_workload_graph(
+    variant: str = "llama-7b",
+    batch: int = 1,
+    prompt_len: int = 512,
+    decode_tokens: int = 64,
+    decode_block: int = 16,
+    num_layers: Optional[int] = None,
+    precision: Precision = Precision.FP32,
+    phases: Sequence[str] = ("prefill", "decode"),
+) -> WorkloadGraph:
+    """LLM inference as a phase graph: prefill then KV-growing decode blocks.
+
+    ``phases`` selects which phases to include (``("prefill",)`` models a
+    prompt-ingest service, ``("decode",)`` a generation-heavy tenant whose
+    prompt was prefetched elsewhere); ``num_layers`` overrides the variant's
+    depth, matching the GPT-3 proxy convention used by Fig. 8.
+    """
+    if variant not in LLAMA_CONFIGS:
+        raise ValueError(f"unknown LLM variant {variant!r}; options: {sorted(LLAMA_CONFIGS)}")
+    if batch <= 0 or prompt_len <= 0:
+        raise ValueError("batch and prompt length must be positive")
+    selected = tuple(phases)
+    unknown = [entry for entry in selected if entry not in ("prefill", "decode")]
+    if unknown or not selected:
+        raise ValueError(f"phase selector must be drawn from prefill/decode, got {list(phases)!r}")
+    config = LLAMA_CONFIGS[variant]
+    layers = num_layers if num_layers is not None else config.layers
+    if layers <= 0:
+        raise ValueError("layer count must be positive")
+
+    graph_phases: List[Phase] = []
+    if "prefill" in selected:
+        graph_phases.append(llm_prefill_phase(config, batch, prompt_len, layers, precision))
+    if "decode" in selected:
+        if decode_tokens <= 0:
+            raise ValueError("decode phase selected but decode_tokens is not positive")
+        graph_phases.extend(
+            llm_decode_phases(config, batch, prompt_len, decode_tokens, decode_block, layers, precision)
+        )
+    tag = "+".join(entry for entry in ("prefill", "decode") if entry in selected)
+    return WorkloadGraph(
+        name=f"{config.name}-b{batch}-p{prompt_len}-d{decode_tokens}-l{layers}-{tag}",
+        phases=graph_phases,
+        params={
+            "variant": config.name,
+            "batch": batch,
+            "prompt_len": prompt_len,
+            "decode_tokens": decode_tokens,
+            "decode_block": decode_block,
+            "layers": layers,
+            "precision": precision.value,
+            "phases": tag,
+        },
+    )

@@ -9,10 +9,11 @@ element-wise work for the GEMM+ mapping model.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.gemm.precision import Precision
-from repro.gemm.workloads import GEMMWorkload
+from repro.gemm.workloads import GEMMShape, GEMMWorkload
+from repro.workloads.graph import Phase, PhaseKind, WorkloadGraph
 from repro.workloads.layers import LayerKind, LayerSpec, conv2d_gemm, elementwise_cost, linear_gemm
 
 
@@ -59,36 +60,80 @@ def _build_layers() -> List[LayerSpec]:
 RESNET50_LAYERS: List[LayerSpec] = _build_layers()
 
 
-def resnet50_workload(batch: int = 8, precision: Precision = Precision.FP32) -> GEMMWorkload:
-    """ResNet-50 inference for a batch, expressed as a GEMM workload.
+def _lower_layer(layer: LayerSpec, batch: int, precision: Precision) -> Tuple[GEMMShape, int, int]:
+    """One layer's im2col/FC GEMM plus its element-wise (BN + ReLU) tail."""
+    if layer.kind is LayerKind.CONV2D:
+        shape = conv2d_gemm(
+            batch, layer.in_channels, layer.out_channels, layer.kernel, layer.stride,
+            layer.input_size, precision,
+        )
+        # Batch-norm + ReLU over the layer's output activations.
+        flops, bytes_touched = elementwise_cost(shape.m * shape.n, flops_per_element=4.0,
+                                                precision=precision)
+    else:
+        shape = linear_gemm(batch, layer.in_channels, layer.out_channels, precision)
+        flops, bytes_touched = elementwise_cost(shape.m * shape.n, flops_per_element=1.0,
+                                                precision=precision)
+    return shape, flops, bytes_touched
 
-    ``batch = 8`` gives GEMM sizes large enough to exercise the MMAE tiling
-    while keeping the per-image latency realistic for inference serving.
+
+def resnet50_graph(
+    batch: int = 8, precision: Precision = Precision.FP32, conv_only: bool = False
+) -> WorkloadGraph:
+    """ResNet-50 as a phase graph: one CONV phase per stage plus the FC tail.
+
+    Phases follow the network's stages (``stem``, ``stage1`` .. ``stage4``,
+    ``fc``); each conv phase carries the stage's im2col GEMMs in layer order,
+    so ``flatten()`` reproduces :func:`resnet50_workload` exactly.
+    ``conv_only`` drops the FC classifier, leaving the pure conv stream (the
+    ``resnet50-conv`` registry variant).
     """
     if batch <= 0:
         raise ValueError("batch must be positive")
-    workload = GEMMWorkload(name=f"resnet50-b{batch}")
-    total_elementwise_flops = 0
-    total_elementwise_bytes = 0
+    stages: List[Tuple[str, List[LayerSpec]]] = []
     for layer in RESNET50_LAYERS:
-        if layer.kind is LayerKind.CONV2D:
-            shape = conv2d_gemm(
-                batch, layer.in_channels, layer.out_channels, layer.kernel, layer.stride,
-                layer.input_size, precision,
-            )
-            workload.add(shape)
-            # Batch-norm + ReLU over the layer's output activations.
-            flops, bytes_touched = elementwise_cost(shape.m * shape.n, flops_per_element=4.0,
-                                                    precision=precision)
-        elif layer.kind is LayerKind.LINEAR:
-            shape = linear_gemm(batch, layer.in_channels, layer.out_channels, precision)
-            workload.add(shape)
-            flops, bytes_touched = elementwise_cost(shape.m * shape.n, flops_per_element=1.0,
-                                                    precision=precision)
-        else:  # pragma: no cover - the table only contains conv/linear layers
+        stage_name = layer.name.split(".", 1)[0]
+        if not stages or stages[-1][0] != stage_name:
+            stages.append((stage_name, []))
+        stages[-1][1].append(layer)
+
+    phases: List[Phase] = []
+    for stage_name, layers in stages:
+        if conv_only and all(layer.kind is LayerKind.LINEAR for layer in layers):
             continue
-        total_elementwise_flops += flops
-        total_elementwise_bytes += bytes_touched
-    workload.non_gemm_flops = total_elementwise_flops
-    workload.non_gemm_bytes = total_elementwise_bytes
-    return workload
+        shapes: List[GEMMShape] = []
+        stage_flops = 0
+        stage_bytes = 0
+        for layer in layers:
+            shape, flops, bytes_touched = _lower_layer(layer, batch, precision)
+            shapes.append(shape)
+            stage_flops += flops
+            stage_bytes += bytes_touched
+        kind = (PhaseKind.CONV if any(layer.kind is LayerKind.CONV2D for layer in layers)
+                else PhaseKind.LINEAR)
+        phases.append(
+            Phase(
+                name=stage_name,
+                kind=kind,
+                shapes=tuple(shapes),
+                non_gemm_flops=stage_flops,
+                non_gemm_bytes=stage_bytes,
+            )
+        )
+    suffix = "conv" if conv_only else ""
+    name = f"resnet50{'-' + suffix if suffix else ''}-b{batch}"
+    return WorkloadGraph(
+        name=name,
+        phases=phases,
+        params={"batch": batch, "precision": precision.value, "conv_only": conv_only},
+    )
+
+
+def resnet50_workload(batch: int = 8, precision: Precision = Precision.FP32) -> GEMMWorkload:
+    """ResNet-50 inference for a batch, expressed as a flat GEMM workload.
+
+    ``batch = 8`` gives GEMM sizes large enough to exercise the MMAE tiling
+    while keeping the per-image latency realistic for inference serving.
+    This is :func:`resnet50_graph` flattened back to the legacy form.
+    """
+    return resnet50_graph(batch=batch, precision=precision).flatten(name=f"resnet50-b{batch}")

@@ -118,7 +118,6 @@ class TestSweepRunner:
         # once per distinct partition sub-shape, not once per layer.
         cache = TimingCache()
         runner = SweepRunner(jobs=1, cache=cache)
-        explorer = DesignSpaceExplorer()
         workload = GEMMWorkload("repeat", [GEMMShape(1024, 1024, 1024)] * 6)
         runner_results = runner.evaluate_points(
             [DesignPoint(name="p", num_nodes=4)], workload)

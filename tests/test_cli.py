@@ -242,3 +242,105 @@ class TestServeCommand:
         import json
 
         assert json.loads(target.read_text())["total_requests"] > 0
+
+
+class TestWorkloadsCommand:
+    def test_list_covers_catalog(self, capsys):
+        from repro.workloads import workload_catalog
+
+        assert main(["workloads", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in workload_catalog():
+            assert name in output
+
+    def test_list_json_parses(self, capsys):
+        import json
+
+        assert main(["workloads", "list", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in entries]
+        assert "llama-7b" in names and "moe-8x" in names
+        assert all("phases" in entry and "gflop" in entry for entry in entries)
+
+    def test_describe_shows_phase_table(self, capsys):
+        assert main(["workloads", "describe", "llama-7b@decode,layers=2"]) == 0
+        output = capsys.readouterr().out
+        assert "decode[512:528]" in output
+        assert "state (MB)" in output
+        assert "flop/byte" in output
+
+    def test_describe_requires_name(self, capsys):
+        assert main(["workloads", "describe"]) == 2
+        assert "needs a catalog name" in capsys.readouterr().err
+
+    def test_describe_unknown_name_errors_cleanly(self, capsys):
+        assert main(["workloads", "describe", "alexnet"]) == 2
+        assert "options" in capsys.readouterr().err
+
+    def test_export_round_trips_through_the_ir(self, capsys):
+        from repro.workloads import WorkloadGraph, workload_graph_by_name
+
+        assert main(["workloads", "export", "moe-8x@experts=4,layers=2"]) == 0
+        text = capsys.readouterr().out
+        clone = WorkloadGraph.from_json(text)
+        assert clone == workload_graph_by_name("moe-8x@experts=4,layers=2")
+
+    def test_export_to_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "graph.json"
+        assert main(["workloads", "export", "resnet50-conv", "--output", str(target)]) == 0
+        assert "wrote export output" in capsys.readouterr().out
+        record = json.loads(target.read_text())
+        assert [phase["name"] for phase in record["phases"]] == [
+            "stem", "stage1", "stage2", "stage3", "stage4"]
+
+    def test_precision_flag_reaches_export(self, capsys):
+        assert main(["workloads", "export", "bert", "--precision", "fp16"]) == 0
+        assert '"precision": "fp16"' in capsys.readouterr().out
+
+
+class TestPhaseAwareExplore:
+    ARGV = ["explore", "--sample", "random", "--points", "3", "--jobs", "1",
+            "--workload", "llama-7b@decode,layers=1,decode=8,block=4", "--precision", "fp32"]
+
+    def test_catalog_workload_aggregate_table(self, capsys):
+        assert main(self.ARGV) == 0
+        output = capsys.readouterr().out
+        assert "design point" in output and "pareto" in output
+
+    def test_per_phase_rows(self, capsys):
+        import json
+
+        assert main(self.ARGV + ["--per-phase", "--format", "json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 3 * 2  # three points x two decode blocks
+        assert {"design point", "phase", "kind", "seconds"} <= set(records[0])
+        assert all(record["kind"] == "decode" for record in records)
+
+    def test_per_phase_requires_catalog_workload(self, capsys):
+        assert main(["explore", "--sample", "random", "--points", "2", "--jobs", "1",
+                     "--size", "1024", "--per-phase"]) == 2
+        assert "needs a catalog workload" in capsys.readouterr().err
+
+    def test_unknown_catalog_workload_errors_cleanly(self, capsys):
+        assert main(["explore", "--sample", "random", "--points", "2", "--jobs", "1",
+                     "--workload", "alexnet"]) == 2
+        assert "options" in capsys.readouterr().err
+
+
+class TestServeTenantMix:
+    ARGV = ["serve", "--trace", "poisson", "--tenants", "2", "--seed", "3",
+            "--requests", "20", "--nodes", "2", "--tenant-mix", "llm"]
+
+    def test_llm_mix_runs_and_labels_tenants(self, capsys):
+        assert main(self.ARGV) == 0
+        output = capsys.readouterr().out
+        assert "tenant0-prefill" in output
+        assert "tenant1-decode" in output
+
+    def test_llm_mix_bit_identical_across_jobs(self, capsys):
+        assert main(self.ARGV + ["--format", "json", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGV + ["--format", "json", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial

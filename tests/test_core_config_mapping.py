@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import MACOConfig, maco_default_config, partition_gemm, partition_workload, schedule_gemm_plus
+from repro.core import maco_default_config, partition_gemm, partition_workload, schedule_gemm_plus
 from repro.core.config import CPUConfig, MemoryConfig, MMAEConfig
 from repro.gemm import GEMMShape, GEMMWorkload, Precision
 

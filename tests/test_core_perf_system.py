@@ -8,7 +8,6 @@ of the headline claims.  Exact values are recorded in EXPERIMENTS.md.
 import pytest
 
 from repro.core import (
-    MACOSystem,
     average_efficiency,
     estimate_node_gemm,
     geometric_mean,

@@ -164,7 +164,7 @@ class TestProcessManager:
 
     def test_core_switch_process_updates_executor_asid(self):
         core = CPUCore()
-        process_a = core.processes.create_process("a")
+        core.processes.create_process("a")
         process_b = core.processes.create_process("b")
 
         class _NullMMAE:

@@ -6,7 +6,6 @@ actually catches rot.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -10,13 +10,7 @@ from repro.analysis import (
     place_gemm,
     roofline_sweep,
 )
-from repro.core import (
-    DesignPoint,
-    DesignSpaceExplorer,
-    MACOSystem,
-    maco_default_config,
-    pareto_front,
-)
+from repro.core import DesignPoint, DesignSpaceExplorer, maco_default_config, pareto_front
 from repro.core.metrics import WorkloadResult
 from repro.gemm import GEMMShape, GEMMWorkload, Precision
 

@@ -8,9 +8,8 @@ with MA_CLEAR — including across process switches.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import MACORuntime, MACOSystem, maco_default_config
+from repro.core import MACORuntime, maco_default_config
 from repro.cpu.exceptions import ExceptionType
 from repro.cpu.mtq import MTQState, StatusWord
 from repro.gemm import Precision

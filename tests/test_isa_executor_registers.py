@@ -7,13 +7,7 @@ from repro.cpu.mtq import MasterTaskQueue, StatusWord
 from repro.gemm.precision import Precision
 from repro.isa.assembler import assemble_program
 from repro.isa.executor import MPAISExecutionError, MPAISExecutor
-from repro.isa.instructions import (
-    GEMMDescriptor,
-    InitDescriptor,
-    MoveDescriptor,
-    Opcode,
-    StashDescriptor,
-)
+from repro.isa.instructions import GEMMDescriptor, InitDescriptor, MoveDescriptor, StashDescriptor
 from repro.isa.registers import RegisterFile
 
 
@@ -154,7 +148,7 @@ class TestTaskManagement:
 
     def test_read_reports_running_state(self):
         executor, regs, mtq, _ = make_executor()
-        maid = self._submit_task(executor, regs)
+        self._submit_task(executor, regs)
         trace = executor.execute_program(assemble_program("MA_READ X5, X1"))[0]
         status = StatusWord.unpack(trace.status_word)
         assert status.valid and not status.done

@@ -1,6 +1,5 @@
 """Tests for the MOESI directory controller (the CCM)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mem.coherence import CoherenceState, DirectoryController

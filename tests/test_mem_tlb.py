@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mem.page_table import FrameAllocator, PageTable
+from repro.mem.page_table import PageTable
 from repro.mem.tlb import TLB, TLBHierarchy
 
 

@@ -1,16 +1,14 @@
 """Tests for the NoC substrate: mesh, X-Y routing, packets, routers, network, contention."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.noc import (
-    Flit,
     FlitType,
     MeshNetwork,
     MeshTopology,
     NocConfig,
     NocContentionModel,
-    NodeCoordinate,
     Packet,
     Router,
     xy_route,

@@ -295,3 +295,90 @@ class TestSimulator:
         assert rates_serial == rates_pooled
         # suggest_rates must leave the estimates memoized for run() to reuse.
         assert len(pooled._services) == 3
+
+
+# ---------------------------------------------------------- phase-aware serving
+class TestLLMServing:
+    """LLM prefill/decode tenants through the phase-aware service estimator."""
+
+    VARIANT = "llama-7b@layers=2,prompt=128,decode=16,block=8"
+
+    def llm_trace(self, seed=7, rate=1.0, duration=12.0):
+        from repro.serve import llm_tenants
+
+        specs = llm_tenants(2, rate_rps=rate, variant=self.VARIANT)
+        return poisson_trace(specs, duration, seed=seed)
+
+    def test_llm_tenants_alternate_prefill_and_decode(self):
+        from repro.serve import llm_tenants
+
+        specs = llm_tenants(4)
+        dominants = [max(spec.mix, key=lambda item: item[1])[0] for spec in specs]
+        assert dominants == ["llama-7b@prefill", "llama-7b@decode"] * 2
+
+    def test_llm_tenants_reject_variant_with_phase_tag(self):
+        """The split is llm_tenants' job; a phase-tagged variant fails early."""
+        from repro.serve import llm_tenants
+
+        for variant in ("llama-7b@decode", "llama-7b@layers=2,prefill",
+                        "llama-7b@phases=decode"):
+            with pytest.raises(ValueError, match="already selects phases"):
+                llm_tenants(2, variant=variant)
+        # Parameter-only specs still work.
+        specs = llm_tenants(2, variant="llama-7b@layers=2")
+        assert specs[0].mix[0][0] == "llama-7b@layers=2,prefill"
+
+    def test_phase_estimates_sum_to_service_time(self):
+        from repro.serve import estimate_phase_service_seconds, estimate_service_seconds
+
+        config = maco_default_config(num_nodes=2)
+        phases = estimate_phase_service_seconds(config, self.VARIANT, Precision.FP32, 2)
+        total = estimate_service_seconds(config, self.VARIANT, Precision.FP32, 2)
+        assert len(phases) == 1 + 2  # prefill + two decode blocks
+        assert sum(seconds for _, seconds in phases) == pytest.approx(total, rel=1e-12)
+        assert all(seconds > 0 for _, seconds in phases)
+
+    def test_decode_costs_more_than_prefill_per_flop(self):
+        """Decode streams the full weights per token: far lower useful GFLOPS."""
+        from repro.workloads import workload_graph_by_name
+
+        simulator = ServeSimulator(config=maco_default_config(num_nodes=2))
+        base = self.VARIANT.partition("@")[0]
+        spec = self.VARIANT.partition("@")[2]
+        prefill_name = f"{base}@{spec},prefill"
+        decode_name = f"{base}@{spec},decode"
+        ratios = {}
+        for name in (prefill_name, decode_name):
+            seconds = simulator.service_seconds(name, Precision.FP32)
+            flops = workload_graph_by_name(name).total_flops
+            ratios[name] = flops / seconds
+        assert ratios[prefill_name] > 2 * ratios[decode_name]
+
+    def test_llm_mix_reports_are_deterministic(self):
+        trace = self.llm_trace(seed=11)
+        first = ServeSimulator(config=maco_default_config(num_nodes=2)).run(trace)
+        second = ServeSimulator(config=maco_default_config(num_nodes=2)).run(
+            self.llm_trace(seed=11))
+        assert first.to_json() == second.to_json()
+
+    def test_llm_mix_identical_across_jobs(self):
+        trace = self.llm_trace(seed=5)
+        serial = ServeSimulator(config=maco_default_config(num_nodes=2), jobs=1).run(trace)
+        pooled = ServeSimulator(config=maco_default_config(num_nodes=2), jobs=2).run(trace)
+        assert serial.to_json() == pooled.to_json()
+
+    def test_report_distinguishes_prefill_from_decode_tenants(self):
+        report = ServeSimulator(config=maco_default_config(num_nodes=2)).run(
+            self.llm_trace(seed=3, duration=20.0))
+        by_name = {tenant.name: tenant for tenant in report.tenants}
+        assert set(by_name) == {"tenant0-prefill", "tenant1-decode"}
+        # The decode-heavy tenant pays for streaming the weights per token.
+        assert by_name["tenant1-decode"].latency_p50_s > \
+            by_name["tenant0-prefill"].latency_p50_s
+
+    def test_phase_profile_breakdown(self):
+        simulator = ServeSimulator(config=maco_default_config(num_nodes=2))
+        profile = simulator.phase_profile(self.VARIANT)
+        names = [name for name, _ in profile]
+        assert names[0].startswith("prefill")
+        assert all(name.startswith("decode") for name in names[1:])

@@ -14,15 +14,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cpu.mmu import MMU
-from repro.cpu.process import ProcessManager
 from repro.gemm.precision import Precision
-from repro.mem.page_table import (
-    FrameAllocator,
-    AddressSpace,
-    PageFaultError,
-    PageTable,
-    PageTableWalker,
-)
+from repro.mem.page_table import FrameAllocator, AddressSpace, PageFaultError, PageTableWalker
 from repro.mem.tlb import LEVEL_FAULT, LEVEL_L1, LEVEL_L2, LEVEL_WALK, TLB, TLBHierarchy
 from repro.mmae.data_engine import AcceleratorDataEngine
 from repro.mmae.matlb import MATLB, MatrixLayout, PageTablePredictor
