@@ -9,13 +9,15 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli gemm --size 4096 --nodes 8 --precision fp64
     python -m repro.cli explore --sample lhs --points 200 --jobs 4 --format csv
     python -m repro.cli workloads describe llama-7b@decode
+    python -m repro.cli parallel --strategy tp --degree 4
     python -m repro.cli serve --trace poisson --tenants 3 --seed 7 --tenant-mix llm
 
 The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
 matches the rows recorded in EXPERIMENTS.md.  The sweep-shaped commands
-(``fig6``, ``fig7``, ``fig8``, ``explore``, ``serve``) accept ``--jobs N`` to
-fan the independent evaluations out over a worker pool; the small fixed figure
-sweeps default to serial, while ``explore`` defaults to all CPU cores.
+(``fig6``, ``fig7``, ``fig8``, ``explore``, ``parallel``, ``serve``) accept
+``--jobs N`` to fan the independent evaluations out over a worker pool; the
+small fixed figure sweeps default to serial, while ``explore`` defaults to all
+CPU cores.
 """
 
 from __future__ import annotations
@@ -145,15 +147,31 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"note: --sample grid is the full {len(points)}-point factorial grid; "
               "--points/--seed apply to random and lhs sampling only", file=sys.stderr)
     workload = _explore_workload(args)
+    if args.parallel:
+        from repro.parallel import ParallelismSpec
+
+        degree = ParallelismSpec.parse(args.parallel).degree
+        hosts = [point for point in points if point.num_nodes >= degree]
+        if len(hosts) != len(points):
+            print(f"note: --parallel {args.parallel} dropped "
+                  f"{len(points) - len(hosts)} design point(s) with fewer than "
+                  f"{degree} nodes", file=sys.stderr)
+        points = hosts
+        if not points:
+            raise ValueError(f"--parallel {args.parallel}: no sampled design point "
+                             f"has at least {degree} nodes")
     runner = SweepRunner(jobs=args.jobs)
     graph_results = None
     if isinstance(workload, WorkloadGraph):
         graph_results = explorer.explore_graph(points, workload, objective=args.objective,
-                                               runner=runner)
+                                               runner=runner, parallelism=args.parallel)
         results = [entry.aggregate for entry in graph_results]
     else:
         if args.per_phase:
             raise ValueError("--per-phase needs a catalog workload "
+                             f"(options: {workload_catalog()}), not --workload {args.workload}")
+        if args.parallel:
+            raise ValueError("--parallel needs a catalog workload "
                              f"(options: {workload_catalog()}), not --workload {args.workload}")
         results = explorer.explore(points, workload, objective=args.objective, runner=runner)
 
@@ -166,6 +184,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             for entry in graph_results
             for phase in entry.phases
         ]
+        if args.parallel:
+            headers += ["compute_seconds", "comm_seconds"]
+            for row, phase in zip(raw_rows, (phase for entry in graph_results
+                                             for phase in entry.phases)):
+                row += [phase.compute_seconds, phase.comm_seconds]
         title = (f"Design-space exploration - {len(results)} points by {args.objective}, "
                  "per phase")
     else:
@@ -181,18 +204,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         ]
         title = f"Design-space exploration - {len(results)} points by {args.objective}"
 
-    def format_cells(rows, stringify=False):
-        return [[f"{cell:.6g}" if isinstance(cell, float) else (str(cell) if stringify else cell)
-                 for cell in row] for row in rows]
-
     if args.format == "json":
         records = [dict(zip(headers, row)) for row in raw_rows]
         text = json.dumps(records, indent=2)
     elif args.format == "csv":
-        text = render_csv(headers, format_cells(raw_rows))
+        text = render_csv(headers, _format_cells(raw_rows, stringify=False))
     else:
         shown = raw_rows if args.top <= 0 else raw_rows[:args.top]
-        text = render_table(headers, format_cells(shown, stringify=True), title=title)
+        text = render_table(headers, _format_cells(shown), title=title)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
@@ -219,6 +238,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression vs {args.baseline} "
               f"(threshold: baseline speedup / {args.regression_factor:g})")
+    return 0
+
+
+def _format_cells(rows, stringify: bool = True) -> List[List]:
+    """Format float cells as ``%.6g`` (and optionally stringify the rest)."""
+    return [[f"{cell:.6g}" if isinstance(cell, float) else (str(cell) if stringify else cell)
+             for cell in row] for row in rows]
+
+
+def _parse_degrees(text: str) -> List[int]:
+    """Parse the ``--degree`` comma list (e.g. ``4`` or ``1,2,4,8``)."""
+    try:
+        degrees = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(f"--degree {text!r} is not a comma-separated integer list") from None
+    if not degrees or any(degree < 1 for degree in degrees):
+        raise ValueError(f"--degree {text!r} must list integers >= 1")
+    return degrees
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    config = maco_default_config(num_nodes=args.nodes)
+    precision = Precision.from_string(args.precision)
+    graph = workload_graph_by_name(args.workload, precision)
+    degrees = _parse_degrees(args.degree)
+    # Like serve: stay serial unless --jobs asks for a pool (the cells are
+    # cheap; SweepRunner(None) would default to all CPU cores).
+    runner = SweepRunner(jobs=args.jobs if args.jobs is not None else 1)
+    plans = runner.sweep_parallelism(config, graph,
+                                     strategies=[args.strategy], degrees=degrees)
+
+    frequency = config.mmae.frequency_hz
+    phase_headers = ["strategy", "degree", "phase", "kind", "repeat",
+                     "compute_cycles", "comm_cycles", "seconds", "collective"]
+    phase_rows = [
+        [plan.strategy, plan.degree, phase.name, phase.kind, phase.repeat,
+         phase.compute_seconds * frequency, phase.comm_seconds * frequency,
+         phase.seconds, phase.collective]
+        for plan in plans
+        for phase in plan.phases
+    ]
+    summary_headers = ["strategy", "degree", "compute_s", "comm_s", "total_s",
+                       "single_node_s", "speedup", "comm_share", "interval_s"]
+    summary_rows = [
+        [plan.strategy, plan.degree, plan.compute_seconds, plan.comm_seconds,
+         plan.total_seconds, plan.unsharded_seconds, plan.speedup,
+         plan.comm_fraction, plan.pipeline_interval_seconds]
+        for plan in plans
+    ]
+
+    if args.format == "json":
+        text = json.dumps({
+            "workload": graph.name,
+            "phases": [dict(zip(phase_headers, row)) for row in phase_rows],
+            "summary": [dict(zip(summary_headers, row)) for row in summary_rows],
+        }, indent=2)
+    elif args.format == "csv":
+        text = render_csv(phase_headers, _format_cells(phase_rows))
+    else:
+        text = "\n\n".join([
+            render_table(phase_headers, _format_cells(phase_rows),
+                         title=f"Parallel plan - {graph.name} "
+                               f"(cycles at the {frequency / 1e9:g} GHz MMAE clock)"),
+            render_table(summary_headers, _format_cells(summary_rows),
+                         title="Plan summary - latency vs single-node execution"),
+        ])
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(plans)} plan(s) to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -305,7 +396,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     config = maco_default_config(num_nodes=args.nodes)
     simulator = ServeSimulator(system=MACOSystem(config), scheduler=args.scheduler,
-                               jobs=args.jobs)
+                               jobs=args.jobs, parallelism=args.parallel)
     precision = Precision.from_string(args.precision)
     if args.trace == "replay":
         if not args.trace_file:
@@ -436,12 +527,36 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--per-phase", action="store_true",
                          help="emit one row per (design point, phase) instead of aggregates "
                               "(catalog workloads only)")
+    explore.add_argument("--parallel", default=None, metavar="STRATEGY:DEGREE",
+                         help="shard the workload across a node group at every design "
+                              "point, e.g. tp:4 or pp:2 (catalog workloads only)")
     explore.add_argument("--top", type=int, default=10,
                          help="rows shown in table output (<= 0 for all)")
     explore.add_argument("--format", default="table", choices=["table", "csv", "json"])
     explore.add_argument("--output", default=None,
                          help="write the rendered output to this file instead of stdout")
     explore.set_defaults(handler=_cmd_explore)
+
+    parallel = subparsers.add_parser(
+        "parallel",
+        help="shard a workload across mesh nodes and report compute vs communication")
+    parallel.add_argument("--workload", default="llama-7b@decode",
+                          help="workload-catalog name, e.g. llama-7b@decode "
+                               "(see 'repro workloads list')")
+    parallel.add_argument("--strategy", default="tp", choices=["tp", "pp", "auto"],
+                          help="tensor parallel, pipeline parallel, or pick the faster")
+    parallel.add_argument("--degree", default="1,2,4,8",
+                          help="node-group sizes to plan, comma separated (e.g. 4 or 1,2,4)")
+    parallel.add_argument("--nodes", type=int, default=16,
+                          help="compute nodes in the configuration (degree must fit)")
+    parallel.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
+    parallel.add_argument("--jobs", type=int, default=None,
+                          help="worker processes for the strategy x degree sweep "
+                               "(default: serial; results are identical either way)")
+    parallel.add_argument("--format", default="table", choices=["table", "csv", "json"])
+    parallel.add_argument("--output", default=None,
+                          help="write the rendered output to this file instead of stdout")
+    parallel.set_defaults(handler=_cmd_parallel)
 
     workloads = subparsers.add_parser(
         "workloads", help="list, describe and export the workload scenario catalog")
@@ -481,6 +596,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sjf", "rr"],
                        help="dispatch policy")
     serve.add_argument("--nodes", type=int, default=8, help="compute nodes in the fleet")
+    serve.add_argument("--parallel", default=None, metavar="STRATEGY:DEGREE",
+                       help="serve each request on a node group instead of one node, "
+                            "e.g. tp:4 (--nodes must divide into groups of DEGREE)")
     serve.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
     serve.add_argument("--seed", type=int, default=0, help="trace generation seed")
     serve.add_argument("--jobs", type=int, default=None,

@@ -100,10 +100,20 @@ def _evaluate_worker(payload):
 
 
 def _evaluate_graph_worker(payload):
-    (base_config, point, graph), cache = payload
+    (base_config, point, graph, parallelism), cache = payload
     from repro.core.explorer import DesignSpaceExplorer
 
-    return DesignSpaceExplorer(base_config).evaluate_graph(point, graph, cache=_task_cache(cache))
+    return DesignSpaceExplorer(base_config).evaluate_graph(
+        point, graph, cache=_task_cache(cache), parallelism=parallelism)
+
+
+def _parallel_plan_worker(payload):
+    """Pool worker: shard one graph under one (strategy, degree) cell."""
+    (config, graph, strategy, degree), cache = payload
+    from repro.parallel import ParallelismSpec, plan_parallel
+
+    return plan_parallel(
+        graph, config, ParallelismSpec(strategy, degree), cache=_task_cache(cache))
 
 
 def _workload_worker(payload) -> WorkloadResult:
@@ -197,16 +207,41 @@ class SweepRunner:
         points: Iterable,
         graph,
         base_config: Optional[MACOConfig] = None,
+        parallelism: Optional[str] = None,
     ) -> List:
         """Per-phase evaluation of every design point on a workload graph.
 
         Returns :class:`~repro.core.explorer.GraphEvaluationResult` objects in
         input order; each phase's distinct shapes are timed once per point and
         scaled by the phase repeat count, so decode-heavy LLM graphs stay
-        cheap to sweep.
+        cheap to sweep.  ``parallelism`` (``"tp:4"``-style) shards the graph
+        across a node group at every point instead of the default whole-fleet
+        GEMM partitioning.
         """
-        tasks = [(base_config, point, graph) for point in points]
+        tasks = [(base_config, point, graph, parallelism) for point in points]
         return self.map(_evaluate_graph_worker, tasks)
+
+    def sweep_parallelism(
+        self,
+        config: MACOConfig,
+        graph,
+        strategies: Sequence[str] = ("tp", "pp"),
+        degrees: Sequence[int] = (1, 2, 4, 8),
+    ) -> List:
+        """Plan every (strategy, degree) sharding of a graph, fanned out.
+
+        Returns :class:`~repro.parallel.ParallelPlan` objects in row-major
+        (strategy outer, degree inner) order.  Plans are pure functions of
+        their inputs and every timing walk goes through the cache, so the
+        serial and pooled paths are bit-identical (``repro.cli parallel
+        --jobs`` relies on this).
+        """
+        tasks = [
+            (config, graph, strategy, degree)
+            for strategy in strategies
+            for degree in degrees
+        ]
+        return self.map(_parallel_plan_worker, tasks)
 
     def run_workloads(
         self,

@@ -128,7 +128,12 @@ class EvaluationResult:
 
 @dataclass
 class PhaseResult:
-    """Timing of one workload phase under one design point."""
+    """Timing of one workload phase under one design point.
+
+    ``compute_seconds``/``comm_seconds`` split the phase time when the graph
+    was evaluated under a parallelism spec; without one the phase is all
+    compute and ``comm_seconds`` stays 0.
+    """
 
     name: str
     kind: str
@@ -138,14 +143,21 @@ class PhaseResult:
     gflops: float
     efficiency: float
     state_bytes: int
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
 
 
 @dataclass
 class GraphEvaluationResult:
-    """Per-phase and aggregate outcome of one design point on a workload graph."""
+    """Per-phase and aggregate outcome of one design point on a workload graph.
+
+    ``parallelism`` records the sharding spec (e.g. ``"tp:4"``) the graph was
+    evaluated under, or ``None`` for the default whole-fleet partitioning.
+    """
 
     aggregate: EvaluationResult
     phases: List[PhaseResult] = field(default_factory=list)
+    parallelism: Optional[str] = None
 
     @property
     def point(self) -> DesignPoint:
@@ -362,6 +374,7 @@ class DesignSpaceExplorer:
         point: DesignPoint,
         graph: WorkloadGraph,
         cache: Optional[TimingCache] = None,
+        parallelism: Optional[str] = None,
     ) -> GraphEvaluationResult:
         """Evaluate one design point per-phase on a workload graph.
 
@@ -371,7 +384,15 @@ class DesignSpaceExplorer:
         phases hit the shared :class:`~repro.core.perf.TimingCache`.
         The aggregate result sums the phase times (phases are sequential and
         data dependent), so per-phase seconds always sum to the aggregate.
+
+        With ``parallelism`` (a :class:`repro.parallel.ParallelismSpec` or a
+        ``"tp:4"``-style string) phases are sharded across a node group by
+        :func:`repro.parallel.plan_parallel` instead of partitioned across
+        the whole fleet, and every phase result carries its compute/
+        communication split.
         """
+        if parallelism is not None:
+            return self._evaluate_graph_parallel(point, graph, cache, parallelism)
         config = point.to_config(self.base_config)
         env = memory_environment(config, config.num_nodes)
         phase_results: List[PhaseResult] = []
@@ -397,6 +418,7 @@ class DesignSpaceExplorer:
                         weights=[phase.repeat] * len(phase.shapes),
                     ),
                     state_bytes=phase.state_bytes,
+                    compute_seconds=seconds,
                 )
             )
             total_seconds += seconds
@@ -416,6 +438,75 @@ class DesignSpaceExplorer:
             node_power_w=config.cpu.power_w + config.mmae.power_w,
         )
         return GraphEvaluationResult(aggregate=aggregate, phases=phase_results)
+
+    def _evaluate_graph_parallel(
+        self,
+        point: DesignPoint,
+        graph: WorkloadGraph,
+        cache: Optional[TimingCache],
+        parallelism: str,
+    ) -> GraphEvaluationResult:
+        """Shard the graph across a node group and report per-phase results.
+
+        The plan comes from :func:`repro.parallel.plan_parallel`: a group of
+        ``degree`` nodes executes every phase (tensor parallel) or a stage of
+        phases each (pipeline parallel), with collective communication priced
+        on the configuration's mesh.  Efficiency is fraction-of-peak over the
+        *group* — node-seconds in the denominator — so a plan that buys
+        latency with idle shards shows up as lower efficiency.
+        """
+        from repro.parallel import ParallelismSpec, plan_parallel
+
+        spec = ParallelismSpec.parse(parallelism)
+        config = point.to_config(self.base_config)
+        plan = plan_parallel(graph, config, spec, cache=cache)
+        phase_results: List[PhaseResult] = []
+        total_flops = 0
+        all_shapes: List[GEMMShape] = []
+        all_weights: List[int] = []
+        for phase, phase_plan in zip(graph.phases, plan.phases):
+            flops = phase.total_gemm_flops
+            seconds = phase_plan.seconds
+            gflops = flops / seconds / 1e9 if seconds > 0 else 0.0
+            busy = len(phase_plan.nodes)
+            phase_results.append(
+                PhaseResult(
+                    name=phase.name,
+                    kind=phase.kind.value,
+                    step=phase.step,
+                    repeat=phase.repeat,
+                    seconds=seconds,
+                    gflops=gflops,
+                    efficiency=self._efficiency(
+                        config, phase.shapes, gflops / busy, seconds * busy,
+                        weights=[phase.repeat] * len(phase.shapes),
+                    ),
+                    state_bytes=phase.state_bytes,
+                    compute_seconds=phase_plan.compute_seconds,
+                    comm_seconds=phase_plan.comm_seconds,
+                )
+            )
+            total_flops += flops
+            all_shapes.extend(phase.shapes)
+            all_weights.extend([phase.repeat] * len(phase.shapes))
+
+        total_seconds = plan.total_seconds
+        gflops = total_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
+        aggregate = EvaluationResult(
+            point=point,
+            config=config,
+            seconds=total_seconds,
+            gflops=gflops,
+            efficiency=self._efficiency(
+                config, all_shapes, gflops / spec.degree, total_seconds * spec.degree,
+                weights=all_weights,
+            ),
+            node_area_mm2=config.cpu.area_mm2 + config.mmae.area_mm2,
+            node_power_w=config.cpu.power_w + config.mmae.power_w,
+        )
+        return GraphEvaluationResult(
+            aggregate=aggregate, phases=phase_results, parallelism=str(spec),
+        )
 
     def explore(
         self,
@@ -447,18 +538,23 @@ class DesignSpaceExplorer:
         objective: Callable[[EvaluationResult], float] | str = "gflops",
         jobs: Optional[int] = None,
         runner: Optional[object] = None,
+        parallelism: Optional[str] = None,
     ) -> List[GraphEvaluationResult]:
         """Evaluate every point per-phase on a graph, sorted best-first by aggregate.
 
         Same fan-out semantics as :meth:`explore`; every result carries the
         per-phase breakdown alongside the aggregate used for ranking.
+        ``parallelism`` (``"tp:4"``-style) shards the graph across a node
+        group at every design point instead of partitioning each GEMM across
+        the whole fleet — see :meth:`evaluate_graph`.
         """
         key = self._objective(objective)
         from repro.core.batch import SweepRunner
 
         if runner is None:
             runner = SweepRunner(jobs=jobs if jobs is not None else 1)
-        results = runner.evaluate_points_on_graph(points, graph, base_config=self.base_config)
+        results = runner.evaluate_points_on_graph(
+            points, graph, base_config=self.base_config, parallelism=parallelism)
         return sorted(results, key=lambda result: key(result.aggregate), reverse=True)
 
     def best(

@@ -9,10 +9,14 @@ virtual-channel flow control (Section III.A).  Two views are provided:
 * a contention model (:class:`NocContentionModel`) that estimates the
   sustained per-node bandwidth when ``n`` nodes stream to the distributed L3
   simultaneously — the quantity that drives the Fig. 7 scalability results.
+
+:mod:`repro.parallel` builds a third consumer on the same substrate: its
+collective cost model prices ring all-reduce / all-gather / point-to-point
+transfers over these X-Y routes for sharded multi-node execution.
 """
 
 from repro.noc.mesh import MeshTopology, NodeCoordinate
-from repro.noc.routing import xy_route, route_hops
+from repro.noc.routing import xy_route, route_hops, route_links
 from repro.noc.flit import Flit, Packet, FlitType
 from repro.noc.router import Router, VirtualChannel
 from repro.noc.network import MeshNetwork, NocConfig, TransferResult
@@ -23,6 +27,7 @@ __all__ = [
     "NodeCoordinate",
     "xy_route",
     "route_hops",
+    "route_links",
     "Flit",
     "Packet",
     "FlitType",

@@ -9,9 +9,11 @@ from typing import List
 
 
 class FlitType(enum.Enum):
-    HEAD = "head"
+    """Position of a flit within its packet's wormhole sequence."""
+
+    HEAD = "head"  # carries the routing information, opens the channel
     BODY = "body"
-    TAIL = "tail"
+    TAIL = "tail"  # closes the virtual channel behind the packet
     HEAD_TAIL = "head_tail"  # single-flit packet
 
 
@@ -53,6 +55,7 @@ class Packet:
 
     @property
     def num_flits(self) -> int:
+        """Flits needed to carry the payload over ``link_width_bytes`` links."""
         return max(1, math.ceil(self.payload_bytes / self.link_width_bytes))
 
     def flits(self) -> List[Flit]:

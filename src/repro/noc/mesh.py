@@ -38,10 +38,12 @@ class MeshTopology:
         return self.width * self.height
 
     def node_id(self, coord: NodeCoordinate) -> int:
+        """The row-major node id at ``coord`` (raises if outside the mesh)."""
         self._check_coordinate(coord)
         return coord.y * self.width + coord.x
 
     def coordinate(self, node_id: int) -> NodeCoordinate:
+        """The (x, y) position of ``node_id`` (raises if out of range)."""
         if not 0 <= node_id < self.num_nodes:
             raise ValueError(f"node id {node_id} out of range 0..{self.num_nodes - 1}")
         return NodeCoordinate(node_id % self.width, node_id // self.width)
@@ -82,6 +84,7 @@ class MeshTopology:
         return 2 * self.height  # one link each way per row across the middle column split
 
     def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes — the X-Y route's hop count."""
         return self.coordinate(src).manhattan_distance(self.coordinate(dst))
 
     def average_hop_distance(self) -> float:
@@ -97,4 +100,5 @@ class MeshTopology:
         return total / pairs if pairs else 0.0
 
     def node_positions(self) -> Dict[int, NodeCoordinate]:
+        """Every node id mapped to its mesh coordinate (for plots and tests)."""
         return {node_id: self.coordinate(node_id) for node_id in range(self.num_nodes)}

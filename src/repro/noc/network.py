@@ -79,6 +79,7 @@ class MeshNetwork:
         self.total_latency_s = 0.0
 
     def make_packet(self, src: int, dst: int, payload_bytes: int, virtual_channel: int = 0) -> Packet:
+        """Build a packet with a fresh id, sized for this network's link width."""
         return Packet(
             packet_id=next(self._packet_ids),
             src=src,
@@ -123,4 +124,5 @@ class MeshNetwork:
 
     @property
     def average_latency_s(self) -> float:
+        """Mean injection-to-delivery latency over every packet sent so far."""
         return self.total_latency_s / self.packets_sent if self.packets_sent else 0.0

@@ -54,6 +54,7 @@ class Router:
         self.packets_routed = 0
 
     def port(self, next_hop: int) -> List[VirtualChannel]:
+        """The virtual channels of the output port towards ``next_hop`` (lazily built)."""
         if next_hop not in self._ports:
             self._ports[next_hop] = [
                 VirtualChannel(index) for index in range(self.num_virtual_channels)

@@ -1,0 +1,37 @@
+"""Multi-node parallel execution: shard workload graphs across the mesh.
+
+The design space the paper sweeps is multi-node, but a single request still
+executed its GEMM phases on one node at a time.  This package partitions a
+:class:`~repro.workloads.graph.WorkloadGraph` across a group of compute
+nodes — tensor parallel (split GEMM free dimensions, exchange partials) or
+pipeline parallel (assign phase blocks to node stages, hand activations
+over) — with every collective priced on the actual mesh through
+:class:`~repro.parallel.collective.CollectiveCostModel` (X-Y routes, link
+sharing, background groups) rather than a flat bandwidth constant.
+
+Consumers: ``repro.cli parallel`` renders plans, ``repro.cli explore
+--parallel`` evaluates design points under a sharding, and the serving
+simulator (``repro.cli serve --parallel``) serves each request on a node
+group so tenant latency reflects sharded execution plus the NoC contention
+between co-scheduled groups.  See docs/PARALLELISM.md for derivations.
+"""
+
+from repro.parallel.collective import CollectiveCostModel
+from repro.parallel.partitioner import (
+    PARALLEL_STRATEGIES,
+    ParallelPlan,
+    ParallelismSpec,
+    PhasePlan,
+    node_groups,
+    plan_parallel,
+)
+
+__all__ = [
+    "CollectiveCostModel",
+    "PARALLEL_STRATEGIES",
+    "ParallelPlan",
+    "ParallelismSpec",
+    "PhasePlan",
+    "node_groups",
+    "plan_parallel",
+]

@@ -1,0 +1,461 @@
+"""Shard a :class:`~repro.workloads.graph.WorkloadGraph` across mesh nodes.
+
+Two strategies, both producing a :class:`ParallelPlan` whose per-phase rows
+separate *compute* from *communication* so the trade-off the plan makes is
+visible (``repro.cli parallel`` renders exactly these rows):
+
+* **tensor parallel** (``tp``) — every GEMM of every phase is split across
+  the whole group along its larger free dimension: an ``N`` split gives each
+  node a column slice of the output (replicated afterwards with a ring
+  all-gather), a ``K`` split gives each node a partial sum over its slice of
+  the reduction dimension (combined with a ring all-reduce).  Compute per
+  node is the extent-proportional slice of the unsharded phase time — the
+  shards execute the same tile schedule over a fraction of the tiles — so
+  summing the per-node compute over the group reproduces the unsharded
+  phase exactly (the conservation property ``tests/test_parallel.py``
+  checks), and a degree-1 plan is bit-identical to the single-node numbers.
+* **pipeline parallel** (``pp``) — the phase list is cut into ``degree``
+  contiguous stages balanced on unsharded phase seconds (contiguity respects
+  the data dependence between phases); each stage runs its phases whole on
+  one node and hands the boundary activation to the next stage with a
+  point-to-point transfer.  For a single request nothing overlaps — the
+  request's latency is the sum of the stages plus the transfers — but the
+  fleet regains throughput because a group admits the next request after one
+  :attr:`~ParallelPlan.pipeline_interval_seconds`.
+
+``auto`` plans both and keeps the one with the lower request latency.
+
+Communication is priced by :class:`~repro.parallel.collective.CollectiveCostModel`
+on the actual mesh (X-Y routes, link sharing, co-scheduled background
+groups), not a flat bandwidth constant; see docs/PARALLELISM.md for the
+derivations and worked examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import MACOConfig
+from repro.core.perf import TimingCache, estimate_node_gemm_cached, memory_environment
+from repro.gemm.workloads import GEMMShape
+from repro.mmae.dataflow import MemoryEnvironment
+from repro.parallel.collective import CollectiveCostModel
+from repro.workloads.graph import Phase, WorkloadGraph
+
+__all__ = [
+    "PARALLEL_STRATEGIES",
+    "ParallelismSpec",
+    "PhasePlan",
+    "ParallelPlan",
+    "node_groups",
+    "plan_parallel",
+]
+
+#: Strategy names accepted everywhere a spec is parsed (``auto`` resolves to
+#: whichever of the two scores the lower request latency).
+PARALLEL_STRATEGIES: Tuple[str, ...] = ("tp", "pp", "auto")
+
+
+@dataclass(frozen=True)
+class ParallelismSpec:
+    """How to shard: a strategy name plus the node-group size (degree)."""
+
+    strategy: str
+    degree: int
+
+    def __post_init__(self) -> None:
+        if self.strategy not in PARALLEL_STRATEGIES:
+            raise ValueError(
+                f"unknown parallel strategy {self.strategy!r}; "
+                f"options: {sorted(PARALLEL_STRATEGIES)}"
+            )
+        if self.degree < 1:
+            raise ValueError(f"parallel degree must be >= 1, got {self.degree}")
+
+    @classmethod
+    def parse(cls, text: "ParallelismSpec | str") -> "ParallelismSpec":
+        """Parse ``"strategy:degree"`` (e.g. ``tp:4``); passes specs through."""
+        if isinstance(text, ParallelismSpec):
+            return text
+        strategy, separator, raw_degree = text.strip().lower().partition(":")
+        if not separator or not raw_degree:
+            raise ValueError(
+                f"parallelism spec {text!r} must look like 'tp:4' "
+                f"(strategy:degree, strategies: {sorted(PARALLEL_STRATEGIES)})"
+            )
+        try:
+            degree = int(raw_degree)
+        except ValueError:
+            raise ValueError(f"parallelism spec {text!r}: degree {raw_degree!r} "
+                             "is not an integer") from None
+        return cls(strategy=strategy, degree=degree)
+
+    def __str__(self) -> str:
+        return f"{self.strategy}:{self.degree}"
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """One workload phase under the plan: who computes what, who talks to whom.
+
+    Seconds fields cover all ``repeat`` executions of the phase.  The
+    tensor-parallel compute model keeps per-node seconds extent-proportional,
+    so ``sum(node_compute_seconds) == unsharded_seconds`` whenever every node
+    received work (conservation); the phase's wall-clock compute time is the
+    slowest node, :attr:`compute_seconds`.
+    """
+
+    name: str
+    kind: str
+    step: int
+    repeat: int
+    stage: int
+    nodes: Tuple[int, ...]
+    unsharded_seconds: float
+    node_compute_seconds: Tuple[float, ...]
+    comm_seconds: float
+    comm_bytes: int
+    collective: str
+
+    @property
+    def compute_seconds(self) -> float:
+        """Wall-clock compute time of the phase: the slowest node's share."""
+        return max(self.node_compute_seconds)
+
+    @property
+    def seconds(self) -> float:
+        """Phase wall-clock time: compute plus (unoverlapped) communication."""
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the phase spent communicating (0 for a degree-1 plan)."""
+        return self.comm_seconds / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class ParallelPlan:
+    """A sharded execution plan for one workload graph on one node group."""
+
+    workload: str
+    strategy: str
+    degree: int
+    group: Tuple[int, ...]
+    phases: List[PhasePlan] = field(default_factory=list)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Critical-path compute seconds summed over the (sequential) phases."""
+        return sum(phase.compute_seconds for phase in self.phases)
+
+    @property
+    def comm_seconds(self) -> float:
+        """Collective and stage hand-off seconds summed over the phases."""
+        return sum(phase.comm_seconds for phase in self.phases)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of one request under the plan."""
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def unsharded_seconds(self) -> float:
+        """The same phases executed whole on a single node (the baseline)."""
+        return sum(phase.unsharded_seconds for phase in self.phases)
+
+    @property
+    def speedup(self) -> float:
+        """Latency speedup over single-node execution (< degree: comm + imbalance)."""
+        return self.unsharded_seconds / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    @property
+    def pipeline_interval_seconds(self) -> float:
+        """Steady-state seconds between request completions on this group.
+
+        For pipeline parallelism this is the busiest stage (compute plus its
+        hand-off); back-to-back requests overlap across stages, so the group
+        finishes one request per interval.  Tensor parallelism keeps the whole
+        group busy for the whole request, so the interval is the full latency.
+        """
+        if self.strategy != "pp":
+            return self.total_seconds
+        per_stage: dict = {}
+        for phase in self.phases:
+            per_stage[phase.stage] = per_stage.get(phase.stage, 0.0) + phase.seconds
+        return max(per_stage.values()) if per_stage else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the request latency spent communicating."""
+        return self.comm_seconds / self.total_seconds if self.total_seconds > 0 else 0.0
+
+
+def node_groups(num_nodes: int, degree: int) -> List[Tuple[int, ...]]:
+    """Partition nodes ``0..num_nodes-1`` into contiguous groups of ``degree``.
+
+    Contiguous ids keep each group's ring compact on the row-major mesh.
+    ``num_nodes`` must divide evenly — a partial group could neither run a
+    ``degree``-wide plan nor serve on its own, so it is rejected loudly.
+    """
+    if degree < 1:
+        raise ValueError(f"parallel degree must be >= 1, got {degree}")
+    if num_nodes < degree:
+        raise ValueError(f"need at least {degree} nodes for degree {degree}, got {num_nodes}")
+    if num_nodes % degree != 0:
+        raise ValueError(
+            f"{num_nodes} nodes do not divide into groups of {degree}; "
+            "choose a degree that divides the fleet"
+        )
+    return [tuple(range(start, start + degree)) for start in range(0, num_nodes, degree)]
+
+
+def _balanced_shares(extent: int, degree: int) -> List[int]:
+    """Split ``extent`` into ``degree`` near-equal integer shares (surplus nodes get 0)."""
+    usable = min(degree, extent)
+    base, extra = divmod(extent, usable)
+    shares = [base + (1 if index < extra else 0) for index in range(usable)]
+    shares.extend([0] * (degree - usable))
+    return shares
+
+
+def _contiguous_stages(weights: Sequence[float], stages: int) -> List[int]:
+    """Assign each phase to a stage: contiguous blocks minimising the busiest stage.
+
+    Classic linear-partition dynamic program over the per-phase weights —
+    O(phases^2 x stages), trivially small here.  Returns one stage index per
+    phase, non-decreasing.
+    """
+    count = len(weights)
+    stages = min(stages, count)
+    prefix = [0.0]
+    for weight in weights:
+        prefix.append(prefix[-1] + weight)
+
+    def block(start: int, end: int) -> float:
+        return prefix[end] - prefix[start]
+
+    infinity = float("inf")
+    # best[s][i]: minimal busiest-stage weight splitting the first i phases into s stages.
+    best = [[infinity] * (count + 1) for _ in range(stages + 1)]
+    cut = [[0] * (count + 1) for _ in range(stages + 1)]
+    best[0][0] = 0.0
+    for stage in range(1, stages + 1):
+        for end in range(1, count + 1):
+            for start in range(stage - 1, end):
+                candidate = max(best[stage - 1][start], block(start, end))
+                if candidate < best[stage][end]:
+                    best[stage][end] = candidate
+                    cut[stage][end] = start
+    # Walk the cuts back into per-phase stage indices.
+    bounds = [count]
+    position = count
+    for stage in range(stages, 0, -1):
+        position = cut[stage][position]
+        bounds.append(position)
+    bounds.reverse()  # [0, ..., count]
+    assignment = []
+    for stage in range(stages):
+        assignment.extend([stage] * (bounds[stage + 1] - bounds[stage]))
+    return assignment
+
+
+def _unsharded_phase_seconds(
+    config: MACOConfig,
+    phase: Phase,
+    env: MemoryEnvironment,
+    cache: Optional[TimingCache],
+) -> float:
+    """One node executing the whole phase (all repeats), zero communication."""
+    once = sum(
+        estimate_node_gemm_cached(config, shape, env=env, cache=cache).seconds
+        for shape in phase.shapes
+    )
+    return once * phase.repeat
+
+
+def _tp_phase_plan(
+    config: MACOConfig,
+    phase: Phase,
+    group: Tuple[int, ...],
+    env: MemoryEnvironment,
+    cache: Optional[TimingCache],
+    collectives: CollectiveCostModel,
+    background: Sequence[Sequence[int]],
+    include_communication: bool,
+) -> PhasePlan:
+    degree = len(group)
+    node_seconds = [0.0] * degree
+    comm_seconds = 0.0
+    comm_bytes = 0
+    collective_kinds: List[str] = []
+    unsharded_once = 0.0
+    for shape in phase.shapes:
+        whole = estimate_node_gemm_cached(config, shape, env=env, cache=cache).seconds
+        unsharded_once += whole
+        # Split the larger free dimension: N keeps the reduction local (the
+        # outputs are disjoint column slices, replicated with an all-gather),
+        # K shards the reduction itself (partial sums, combined with an
+        # all-reduce).  Shards run the same tile schedule over their slice of
+        # the tiles, so per-node compute is the extent-proportional share.
+        split = "n" if shape.n >= shape.k else "k"
+        extent = shape.n if split == "n" else shape.k
+        for node_index, share in enumerate(_balanced_shares(extent, degree)):
+            node_seconds[node_index] += whole * (share / extent)
+        if degree > 1 and include_communication:
+            payload = shape.bytes_c
+            if split == "k":
+                comm_seconds += collectives.ring_allreduce_seconds(group, payload, background)
+                wire = int(payload * 2 * (degree - 1) / degree)
+                kind = "ring-all-reduce"
+            else:
+                comm_seconds += collectives.all_gather_seconds(group, payload, background)
+                wire = int(payload * (degree - 1) / degree)
+                kind = "all-gather"
+            comm_bytes += wire
+            if kind not in collective_kinds:
+                collective_kinds.append(kind)
+    return PhasePlan(
+        name=phase.name,
+        kind=phase.kind.value,
+        step=phase.step,
+        repeat=phase.repeat,
+        stage=0,
+        nodes=group,
+        unsharded_seconds=unsharded_once * phase.repeat,
+        node_compute_seconds=tuple(seconds * phase.repeat for seconds in node_seconds),
+        comm_seconds=comm_seconds * phase.repeat,
+        comm_bytes=comm_bytes * phase.repeat,
+        collective="+".join(collective_kinds) if collective_kinds else "none",
+    )
+
+
+def _pp_phase_plans(
+    config: MACOConfig,
+    graph: WorkloadGraph,
+    group: Tuple[int, ...],
+    env: MemoryEnvironment,
+    cache: Optional[TimingCache],
+    collectives: CollectiveCostModel,
+    background: Sequence[Sequence[int]],
+    include_communication: bool,
+) -> List[PhasePlan]:
+    degree = len(group)
+    unsharded = [_unsharded_phase_seconds(config, phase, env, cache) for phase in graph.phases]
+    assignment = _contiguous_stages(unsharded, degree)
+    plans: List[PhasePlan] = []
+    for index, phase in enumerate(graph.phases):
+        stage = assignment[index]
+        node_seconds = [0.0] * degree
+        node_seconds[stage] = unsharded[index]
+        comm_seconds = 0.0
+        comm_bytes = 0
+        collective = "none"
+        last_of_stage = index + 1 == len(graph.phases) or assignment[index + 1] != stage
+        if last_of_stage and index + 1 < len(graph.phases) and include_communication:
+            # Hand the boundary activation (the phase's final output tile) to
+            # the next stage's node.  The transfer happens once per request —
+            # repeats inside the phase stay on-stage.
+            payload = phase.shapes[-1].bytes_c
+            next_stage = assignment[index + 1]
+            comm_seconds = collectives.point_to_point_seconds(
+                group[stage], group[next_stage], payload, background
+            )
+            comm_bytes = payload
+            collective = "p2p"
+        plans.append(
+            PhasePlan(
+                name=phase.name,
+                kind=phase.kind.value,
+                step=phase.step,
+                repeat=phase.repeat,
+                stage=stage,
+                nodes=(group[stage],),
+                unsharded_seconds=unsharded[index],
+                node_compute_seconds=tuple(node_seconds),
+                comm_seconds=comm_seconds,
+                comm_bytes=comm_bytes,
+                collective=collective,
+            )
+        )
+    return plans
+
+
+def plan_parallel(
+    graph: WorkloadGraph,
+    config: MACOConfig,
+    spec: "ParallelismSpec | str",
+    group: Optional[Sequence[int]] = None,
+    env: Optional[MemoryEnvironment] = None,
+    cache: Optional[TimingCache] = None,
+    collectives: Optional[CollectiveCostModel] = None,
+    background: Sequence[Sequence[int]] = (),
+    include_communication: bool = True,
+) -> ParallelPlan:
+    """Shard ``graph`` across a node group under ``spec`` and price the result.
+
+    ``group`` defaults to nodes ``0..degree-1`` (the convention the paper's
+    scaling experiments use); ``env`` defaults to the memory environment with
+    ``degree`` active nodes, so a standalone plan sees exactly the contention
+    its own group creates — the serving simulator overrides both to model a
+    fully loaded fleet.  ``background`` lists co-scheduled groups whose
+    collective traffic shares mesh links with ours.
+    ``include_communication=False`` zeroes the collectives (used by the
+    conservation tests and for isolating compute scaling).
+
+    Deterministic and side-effect free: every timing walk goes through the
+    shared :class:`~repro.core.perf.TimingCache`, so plans are cheap to sweep
+    and bit-identical for any ``--jobs`` fan-out.
+    """
+    spec = ParallelismSpec.parse(spec)
+    if spec.degree > config.num_nodes:
+        raise ValueError(
+            f"parallel degree {spec.degree} exceeds the configuration's "
+            f"{config.num_nodes} nodes"
+        )
+    if collectives is None:
+        collectives = CollectiveCostModel(config=config.noc)
+    if spec.degree > collectives.topology.num_nodes:
+        raise ValueError(
+            f"parallel degree {spec.degree} exceeds the "
+            f"{collectives.topology.width}x{collectives.topology.height} mesh"
+        )
+    group = tuple(group) if group is not None else tuple(range(spec.degree))
+    if len(group) != spec.degree:
+        raise ValueError(f"node group {group} has {len(group)} members but degree is {spec.degree}")
+    if env is None:
+        env = memory_environment(config, spec.degree)
+
+    if spec.strategy == "auto":
+        candidates = [
+            plan_parallel(
+                graph,
+                config,
+                ParallelismSpec(strategy, spec.degree),
+                group=group,
+                env=env,
+                cache=cache,
+                collectives=collectives,
+                background=background,
+                include_communication=include_communication,
+            )
+            for strategy in ("tp", "pp")
+        ]
+        # Lower request latency wins; ties go to tensor parallel (listed first).
+        return min(candidates, key=lambda plan: plan.total_seconds)
+
+    if spec.strategy == "tp":
+        phases = [
+            _tp_phase_plan(config, phase, group, env, cache, collectives, background, include_communication)
+            for phase in graph.phases
+        ]
+    else:
+        phases = _pp_phase_plans(config, graph, group, env, cache, collectives,
+                                 background, include_communication)
+    return ParallelPlan(
+        workload=graph.name,
+        strategy=spec.strategy,
+        degree=spec.degree,
+        group=group,
+        phases=phases,
+    )

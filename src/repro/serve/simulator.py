@@ -62,11 +62,14 @@ def estimate_phase_service_seconds(
     precision: Precision,
     active_nodes: int,
     cache: Optional[TimingCache] = None,
+    parallelism: Optional[str] = None,
+    group: Optional[Sequence[int]] = None,
+    background: Sequence[Sequence[int]] = (),
 ) -> List[Tuple[str, float]]:
-    """Per-phase analytic service time of one model invocation on one node.
+    """Per-phase analytic service time of one model invocation on one server.
 
-    The request runs alone on its node but shares the memory system with the
-    rest of the fleet, so the per-layer GEMM estimates use the
+    The request runs alone on its server but shares the memory system with
+    the rest of the fleet, so the per-layer GEMM estimates use the
     ``active_nodes``-way contended :func:`~repro.core.perf.memory_environment`
     (the steady-state worst case for a loaded fleet).  Each phase of the
     workload graph is scheduled independently — its GEMM stream on the MMAE,
@@ -78,6 +81,38 @@ def estimate_phase_service_seconds(
     A phase times its distinct shapes once and scales by the phase ``repeat``
     count: every decode step after the first reuses the
     :class:`~repro.core.perf.TimingCache` entries of its block.
+
+    With ``parallelism`` (``"tp:4"``-style) the server is a node *group*:
+    :func:`repro.parallel.plan_parallel` shards each phase's GEMM stream over
+    ``group`` (tensor parallel also divides the element-wise tail and stash
+    traffic across the group; a pipeline stage keeps its phases whole), and
+    the phase pays its collective-communication seconds — priced on the mesh
+    with every ``background`` group's traffic overlaid — on top of the
+    overlap schedule.  A ``tp:1`` plan reproduces the single-node estimate
+    bit for bit.
+    """
+    rows, _ = _phase_service_rows(
+        config, workload_name, precision, active_nodes, cache=cache,
+        parallelism=parallelism, group=group, background=background,
+    )
+    return [(name, seconds) for name, seconds, _ in rows]
+
+
+def _phase_service_rows(
+    config: MACOConfig,
+    workload_name: str,
+    precision: Precision,
+    active_nodes: int,
+    cache: Optional[TimingCache] = None,
+    parallelism: Optional[str] = None,
+    group: Optional[Sequence[int]] = None,
+    background: Sequence[Sequence[int]] = (),
+) -> Tuple[List[Tuple[str, float, int]], Optional[str]]:
+    """``(phase name, seconds, pipeline stage)`` rows plus the resolved strategy.
+
+    The implementation behind :func:`estimate_phase_service_seconds`; the
+    stage index (0 outside pipeline parallelism) lets the simulator compute
+    the group's steady-state pipeline interval.
     """
     from repro.workloads.registry import workload_graph_by_name
 
@@ -95,29 +130,49 @@ def estimate_phase_service_seconds(
     dram = DRAMModel(config=config.memory.dram)
     stash_bandwidth = dram.effective_bandwidth(active_nodes) / active_nodes
 
-    results: List[Tuple[str, float]] = []
-    for phase in graph.phases:
-        gemm_seconds = 0.0
+    plan = None
+    if parallelism is not None:
+        from repro.parallel import plan_parallel
+
+        plan = plan_parallel(
+            graph, config, parallelism, group=group, env=env, cache=cache,
+            background=background,
+        )
+
+    results: List[Tuple[str, float, int]] = []
+    for index, phase in enumerate(graph.phases):
         stash_bytes = 0
         for shape in phase.shapes:
-            timing = estimate_node_gemm_cached(
-                config, shape, active_nodes=active_nodes, env=env, cache=cache,
-            )
-            gemm_seconds += timing.seconds
             stash_bytes += partition_gemm(shape, 1).stash_bytes
-        gemm_seconds *= phase.repeat
         stash_bytes *= phase.repeat
+        comm_seconds = 0.0
+        if plan is None:
+            gemm_seconds = sum(
+                estimate_node_gemm_cached(
+                    config, shape, active_nodes=active_nodes, env=env, cache=cache,
+                ).seconds
+                for shape in phase.shapes
+            ) * phase.repeat
+            sharers = 1
+        else:
+            phase_plan = plan.phases[index]
+            gemm_seconds = phase_plan.compute_seconds
+            comm_seconds = phase_plan.comm_seconds
+            # Tensor parallelism shards the tail and stash across the group;
+            # a pipeline stage runs its phases whole on one node.
+            sharers = len(phase_plan.nodes)
         cpu_seconds = core.run_elementwise(
             phase.non_gemm_flops * phase.repeat, phase.non_gemm_bytes * phase.repeat
-        ).seconds
+        ).seconds / sharers
         schedule = schedule_gemm_plus(
             mmae_seconds=gemm_seconds,
             cpu_seconds=cpu_seconds,
-            stash_seconds=stash_bytes / stash_bandwidth,
+            stash_seconds=stash_bytes / sharers / stash_bandwidth,
             mapping_enabled=config.mapping_scheme_enabled,
         )
-        results.append((phase.name, schedule.total_seconds))
-    return results
+        stage = plan.phases[index].stage if plan is not None else 0
+        results.append((phase.name, schedule.total_seconds + comm_seconds, stage))
+    return results, (plan.strategy if plan is not None else None)
 
 
 def estimate_service_seconds(
@@ -126,40 +181,86 @@ def estimate_service_seconds(
     precision: Precision,
     active_nodes: int,
     cache: Optional[TimingCache] = None,
+    parallelism: Optional[str] = None,
+    group: Optional[Sequence[int]] = None,
+    background: Sequence[Sequence[int]] = (),
 ) -> float:
-    """Analytic service time of one model invocation on one compute node.
+    """Analytic service time of one model invocation on one server.
 
     The sum of the per-phase estimates — see
-    :func:`estimate_phase_service_seconds` for the contention and overlap
-    model.  For single-phase graphs (``bert``, ``gpt3``) this reduces to the
-    flat GEMM-stream estimate of the whole workload; multi-phase graphs
-    (``resnet50`` is now one phase per conv stage, LLM graphs one per
-    prefill/decode block) schedule each phase's GEMM/CPU/stash overlap
-    independently, so their estimates are slightly more conservative than
-    the old whole-network overlap (phase boundaries are barriers).
+    :func:`estimate_phase_service_seconds` for the contention, overlap and
+    sharding models.  For single-phase graphs (``bert``, ``gpt3``) this
+    reduces to the flat GEMM-stream estimate of the whole workload;
+    multi-phase graphs (``resnet50`` is now one phase per conv stage, LLM
+    graphs one per prefill/decode block) schedule each phase's GEMM/CPU/stash
+    overlap independently, so their estimates are slightly more conservative
+    than the old whole-network overlap (phase boundaries are barriers).
     """
     return sum(
         seconds
         for _, seconds in estimate_phase_service_seconds(
-            config, workload_name, precision, active_nodes, cache=cache
+            config, workload_name, precision, active_nodes, cache=cache,
+            parallelism=parallelism, group=group, background=background,
         )
     )
 
 
-def _service_worker(payload) -> float:
-    """Pool worker: estimate one ``(workload, precision)`` service time."""
-    (config, workload_name, precision, active_nodes), cache = payload
-    return estimate_service_seconds(
-        config, workload_name, precision, active_nodes, cache=_task_cache(cache)
+def _service_times(
+    config: MACOConfig,
+    workload_name: str,
+    precision: Precision,
+    active_nodes: int,
+    cache: Optional[TimingCache] = None,
+    parallelism: Optional[str] = None,
+    group: Optional[Sequence[int]] = None,
+    background: Sequence[Sequence[int]] = (),
+) -> Tuple[float, float]:
+    """``(latency, interval)`` of one request on one server.
+
+    ``latency`` is the end-to-end service time a request observes
+    (:func:`estimate_service_seconds`).  ``interval`` is the steady-state
+    occupancy the request adds to its server: for pipeline parallelism the
+    busiest stage's seconds — back-to-back same-tenant requests overlap
+    across stages, so the group admits the next request one interval after
+    the last — and simply the latency everywhere else (a node, or a
+    tensor-parallel group, is busy for the whole request).
+    """
+    rows, strategy = _phase_service_rows(
+        config, workload_name, precision, active_nodes, cache=cache,
+        parallelism=parallelism, group=group, background=background,
+    )
+    latency = sum(seconds for _, seconds, _ in rows)
+    if strategy != "pp":
+        return latency, latency
+    per_stage: dict = {}
+    for _, seconds, stage in rows:
+        per_stage[stage] = per_stage.get(stage, 0.0) + seconds
+    return latency, max(per_stage.values())
+
+
+def _service_worker(payload) -> Tuple[float, float]:
+    """Pool worker: estimate one server's ``(latency, interval)`` for a workload."""
+    (config, workload_name, precision, active_nodes,
+     parallelism, group, background), cache = payload
+    return _service_times(
+        config, workload_name, precision, active_nodes, cache=_task_cache(cache),
+        parallelism=parallelism, group=group, background=background,
     )
 
 
 @dataclass
 class _NodeState:
-    """Mutable per-node bookkeeping for the event loop."""
+    """Mutable per-server bookkeeping for the event loop.
+
+    ``free_at`` is when the server can *admit* its next request; ``drain_at``
+    is when its last request actually finishes.  They coincide except on a
+    pipeline-parallel group, which admits a same-tenant request one pipeline
+    interval after the last while earlier requests drain through the stages.
+    """
 
     node_id: int
     free_at: float = 0.0
+    drain_at: float = 0.0
     busy_s: float = 0.0
     switch_s: float = 0.0
     completed: int = 0
@@ -175,6 +276,19 @@ class ServeSimulator:
     :class:`~repro.core.batch.SweepRunner` pool (the event loop itself is
     always serial and deterministic, so the report is bit-identical for every
     ``jobs`` setting).
+
+    ``parallelism`` (``"tp:4"``-style, see :mod:`repro.parallel`) shards
+    every request across a node *group* instead of serving it on one node:
+    the fleet becomes ``num_nodes / degree`` group servers, each request's
+    service time reflects sharded execution plus collective communication,
+    and the collectives of co-scheduled groups contend for shared mesh links
+    (every other group is priced as background traffic — the steady-state
+    worst case, consistent with the memory-environment model).  A
+    pipeline-parallel group overlaps back-to-back same-tenant requests
+    across its stages: it admits the next request one pipeline interval
+    after the last, while each request still observes the full stage-sum
+    latency (a tenant change waits for the pipeline to drain).  ``tp:1``
+    reproduces the unsharded simulation bit for bit.
     """
 
     def __init__(
@@ -184,6 +298,7 @@ class ServeSimulator:
         scheduler: str = "fcfs",
         jobs: Optional[int] = None,
         cache: Optional[TimingCache] = None,
+        parallelism: Optional[str] = None,
     ) -> None:
         if system is not None and config is not None:
             raise ValueError("pass either a system or a config, not both")
@@ -192,26 +307,68 @@ class ServeSimulator:
         self.system = system
         self.scheduler_name = scheduler
         self.runner = SweepRunner(jobs=jobs if jobs is not None else 1, cache=cache)
-        self._services: Dict[Tuple[str, Precision], float] = {}
+        if parallelism is None:
+            self.parallelism = None
+            self.groups = [(node,) for node in range(self.system.num_nodes)]
+        else:
+            from repro.parallel import ParallelismSpec, node_groups
+
+            spec = ParallelismSpec.parse(parallelism)
+            self.parallelism = str(spec)
+            self.groups = node_groups(self.system.num_nodes, spec.degree)
+        self._services: Dict[Tuple[str, Precision, int], Tuple[float, float]] = {}
         # One serving process per (node, tenant): created lazily through the
         # node CPU's ProcessManager so ASIDs and switch accounting are real.
         self._tenant_processes: List[Dict[str, Process]] = [
             {} for _ in range(self.system.num_nodes)
         ]
 
+    @property
+    def num_servers(self) -> int:
+        """Dispatchable servers: node groups under parallelism, else nodes."""
+        return len(self.groups)
+
+    def _background(self, server: int) -> Tuple[Tuple[int, ...], ...]:
+        """The other groups, whose collective traffic shares mesh links with ours."""
+        if self.parallelism is None:
+            return ()
+        return tuple(group for index, group in enumerate(self.groups) if index != server)
+
     # ------------------------------------------------------------ service times
-    def service_seconds(self, workload_name: str, precision: Precision = Precision.FP32) -> float:
-        """Memoised per-request service time on one node of this fleet."""
-        key = (workload_name, precision)
+    def service_seconds(
+        self,
+        workload_name: str,
+        precision: Precision = Precision.FP32,
+        server: int = 0,
+    ) -> float:
+        """Memoised per-request service time on one server of this fleet.
+
+        Under parallelism the estimate depends on the group's mesh position
+        (its ring shares different links with the background groups), so
+        ``server`` selects the group; without parallelism every node is
+        identical and the argument is ignored.
+        """
+        return self._service_pair(workload_name, precision, server)[0]
+
+    def _service_pair(
+        self, workload_name: str, precision: Precision, server: int = 0
+    ) -> Tuple[float, float]:
+        """Memoised ``(latency, interval)`` — see :func:`_service_times`."""
+        if self.parallelism is None:
+            server = 0
+        key = (workload_name, precision, server)
         if key not in self._services:
-            self._services[key] = estimate_service_seconds(
+            self._services[key] = _service_times(
                 self.system.config, workload_name, precision,
                 active_nodes=self.system.num_nodes, cache=self.runner.cache,
+                parallelism=self.parallelism,
+                group=self.groups[server] if self.parallelism is not None else None,
+                background=self._background(server),
             )
         return self._services[key]
 
     def phase_profile(
-        self, workload_name: str, precision: Precision = Precision.FP32
+        self, workload_name: str, precision: Precision = Precision.FP32, server: int = 0
     ) -> List[Tuple[str, float]]:
         """Per-phase service seconds of one workload on this fleet.
 
@@ -221,20 +378,36 @@ class ServeSimulator:
         return estimate_phase_service_seconds(
             self.system.config, workload_name, precision,
             active_nodes=self.system.num_nodes, cache=self.runner.cache,
+            parallelism=self.parallelism,
+            group=self.groups[server] if self.parallelism is not None else None,
+            background=self._background(server),
         )
 
     def _ensure_services(self, pairs: Sequence[Tuple[str, Precision]]) -> None:
-        """Estimate the given (workload, precision) pairs, fanning out over the runner's pool."""
+        """Estimate the given (workload, precision) pairs, fanning out over the runner's pool.
+
+        Under parallelism each pair is estimated once per group server (the
+        mesh position changes the communication cost); otherwise once.
+        """
         ordered = sorted(set(pairs), key=lambda pair: (pair[0], pair[1].name))
-        missing = [pair for pair in ordered if pair not in self._services]
+        servers = range(self.num_servers) if self.parallelism is not None else (0,)
+        missing = [
+            (workload, precision, server)
+            for workload, precision in ordered
+            for server in servers
+            if (workload, precision, server) not in self._services
+        ]
         if not missing:
             return
         tasks = [
-            (self.system.config, workload, precision, self.system.num_nodes)
-            for workload, precision in missing
+            (self.system.config, workload, precision, self.system.num_nodes,
+             self.parallelism,
+             self.groups[server] if self.parallelism is not None else None,
+             self._background(server))
+            for workload, precision, server in missing
         ]
-        for pair, seconds in zip(missing, self.runner.map(_service_worker, tasks)):
-            self._services[pair] = seconds
+        for key, pair in zip(missing, self.runner.map(_service_worker, tasks)):
+            self._services[key] = pair
 
     def _prepare_services(self, trace: RequestTrace) -> None:
         """Estimate every distinct (workload, precision) in the trace, possibly in parallel."""
@@ -273,15 +446,19 @@ class ServeSimulator:
 
     # ------------------------------------------------------- context switching
     def _switch_seconds(self, state: _NodeState, tenant: str) -> float:
-        """Charge (and account) the cost of putting ``tenant`` on the node.
+        """Charge (and account) the cost of putting ``tenant`` on the server.
 
-        The first tenant a node ever serves is adopted for free (the node was
+        The first tenant a server ever serves is adopted for free (it was
         idle); after that, a tenant change costs the ProcessManager's register
-        save/restore plus the ASID flush penalty, both in the CPU clock domain.
+        save/restore plus the ASID flush penalty, both in the CPU clock
+        domain.  A node group switches all its nodes concurrently, so the
+        group pays one switch cost; the lead node's ProcessManager keeps the
+        ASID bookkeeping real.
         """
-        node = self.system.node(state.node_id)
+        lead = self.groups[state.node_id][0]
+        node = self.system.node(lead)
         manager = node.cpu.processes
-        processes = self._tenant_processes[state.node_id]
+        processes = self._tenant_processes[lead]
         if tenant not in processes:
             processes[tenant] = manager.create_process(f"serve:{tenant}")
         process = processes[tenant]
@@ -298,18 +475,19 @@ class ServeSimulator:
     def run(self, trace: RequestTrace) -> ServeReport:
         """Simulate the trace to completion and return the aggregated report.
 
-        Non-preemptive multi-server queue: whenever the earliest-free node
-        frees up, every request that has arrived by then is admitted to the
-        scheduler, the policy pops one, and the node is busy for the switch
-        cost plus the service estimate.  All tie-breaks are deterministic, so
-        identical traces yield bit-identical reports.
+        Non-preemptive multi-server queue: whenever the earliest-free server
+        (a node, or a node group under parallelism) frees up, every request
+        that has arrived by then is admitted to the scheduler, the policy
+        pops one, and the server is busy for the switch cost plus the service
+        estimate.  All tie-breaks are deterministic, so identical traces
+        yield bit-identical reports.
         """
         self._prepare_services(trace)
         scheduler: Scheduler = scheduler_by_name(
             self.scheduler_name,
             estimator=lambda request: self.service_seconds(request.workload, request.precision),
         )
-        states = [_NodeState(node_id=index) for index in range(self.system.num_nodes)]
+        states = [_NodeState(node_id=index) for index in range(self.num_servers)]
         # Defensive sort: RequestTrace is a public dataclass, so a hand-built
         # trace may not arrive ordered; the admission scan below requires it.
         arrivals: List[Request] = sorted(
@@ -346,14 +524,25 @@ class ServeSimulator:
                 continue
             request = scheduler.pop()
             start = max(state.free_at, request.arrival_s)
+            # A tenant change cannot enter a draining pipeline: the previous
+            # tenant's in-flight requests must leave the stages before the
+            # ASID switch.  (Outside pipeline parallelism drain_at == free_at,
+            # so this is a no-op.)
+            if state.last_tenant is not None and state.last_tenant != request.tenant:
+                start = max(start, state.drain_at)
             # The popped request stays logically queued until its start time,
             # so count it in the depth integral over (last event, start).
             advance(start, extra_queued=1)
             switch_s = self._switch_seconds(state, request.tenant)
-            service_s = self.service_seconds(request.workload, request.precision)
+            service_s, interval_s = self._service_pair(
+                request.workload, request.precision, server=state.node_id)
             finish = start + switch_s + service_s
-            state.free_at = finish
-            state.busy_s += switch_s + service_s
+            # The server admits its next request one pipeline interval after
+            # this one entered; for non-pipelined servers the interval is the
+            # full service time and free_at lands exactly on finish.
+            state.free_at = start + switch_s + interval_s
+            state.drain_at = finish
+            state.busy_s += switch_s + interval_s
             state.switch_s += switch_s
             state.completed += 1
             state.last_tenant = request.tenant

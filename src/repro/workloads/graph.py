@@ -115,7 +115,13 @@ class Phase:
 
     # --------------------------------------------------------------- serialization
     def to_dict(self) -> dict:
-        """The phase as plain JSON-able data (see :meth:`from_dict`)."""
+        """The phase as plain JSON-able data (see :meth:`from_dict`).
+
+        Every field is emitted explicitly — including ``repeat``, ``step``
+        and ``state_bytes`` when they hold their defaults — so exports are
+        lossless and self-describing regardless of how the phase folds its
+        repeats (``tests/test_workload_graph.py`` pins this down).
+        """
         return {
             "name": self.name,
             "kind": self.kind.value,
@@ -197,6 +203,7 @@ class WorkloadGraph:
 
     @property
     def total_flops(self) -> int:
+        """GEMM plus non-GEMM FLOPs over the whole graph."""
         return sum(phase.total_flops for phase in self.phases)
 
     @property
@@ -211,6 +218,7 @@ class WorkloadGraph:
 
     @property
     def phase_names(self) -> List[str]:
+        """The phase names, in execution order."""
         return [phase.name for phase in self.phases]
 
     def state_growth(self) -> List[Tuple[str, int]]:
@@ -254,6 +262,7 @@ class WorkloadGraph:
 
     # --------------------------------------------------------------- serialization
     def to_dict(self) -> dict:
+        """The graph as plain JSON-able data: name, params, explicit phases."""
         return {
             "name": self.name,
             "params": dict(self.params),
@@ -266,6 +275,7 @@ class WorkloadGraph:
 
     @classmethod
     def from_dict(cls, record: Mapping) -> "WorkloadGraph":
+        """Rebuild a graph from :meth:`to_dict` output (exact round trip)."""
         try:
             phases = [Phase.from_dict(entry) for entry in record["phases"]]
             return cls(
@@ -278,6 +288,7 @@ class WorkloadGraph:
 
     @classmethod
     def from_json(cls, text: str) -> "WorkloadGraph":
+        """Parse :meth:`to_json` output (``repro.cli workloads export``) back."""
         return cls.from_dict(json.loads(text))
 
     # ---------------------------------------------------------------- reporting

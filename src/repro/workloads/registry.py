@@ -37,6 +37,7 @@ from repro.workloads.resnet50 import resnet50_graph
 
 __all__ = [
     "WorkloadVariant",
+    "catalog_entry",
     "workload_names",
     "workload_catalog",
     "workload_by_name",

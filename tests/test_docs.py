@@ -19,7 +19,10 @@ spec.loader.exec_module(check_docs)
 
 
 class TestRealDocuments:
-    @pytest.mark.parametrize("document", ["README.md", "DESIGN.md", "docs/ARCHITECTURE.md"])
+    @pytest.mark.parametrize("document", [
+        "README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
+        "docs/PARALLELISM.md", "docs/TUTORIAL.md",
+    ])
     def test_document_exists_and_is_clean(self, document):
         path = REPO_ROOT / document
         assert path.exists(), f"{document} is missing"
@@ -40,6 +43,19 @@ class TestRealDocuments:
                     if p.is_dir() and not p.name.startswith("__")]
         for package in packages:
             assert f"repro.{package}" in text, f"ARCHITECTURE.md lacks repro.{package}"
+
+    def test_tutorial_tours_the_four_stops(self):
+        """The tutorial must walk explore → workloads → parallel → serve."""
+        text = (REPO_ROOT / "docs" / "TUTORIAL.md").read_text()
+        for subcommand in ("explore", "workloads", "parallel", "serve"):
+            assert f"repro.cli {subcommand}" in text, \
+                f"TUTORIAL.md lacks a worked 'repro.cli {subcommand}' command"
+
+    def test_parallelism_doc_defines_the_model(self):
+        text = (REPO_ROOT / "docs" / "PARALLELISM.md").read_text()
+        for topic in ("Tensor parallel", "Pipeline parallel", "ring all-reduce",
+                      "conservation", "Background groups"):
+            assert topic in text, f"PARALLELISM.md lacks {topic!r}"
 
     def test_design_documents_serving_model(self):
         text = (REPO_ROOT / "DESIGN.md").read_text()

@@ -103,6 +103,54 @@ class TestWorkloadGraph:
         assert graph.to_json() == WorkloadGraph.from_json(graph.to_json()).to_json()
 
 
+# -------------------------------------------------------------- export fidelity
+class TestExportExplicitness:
+    """Exports must be lossless regardless of folding: every phase record
+    carries ``repeat``/``step``/``state_bytes`` explicitly even at their
+    defaults, so a round trip cannot silently change the work a graph holds."""
+
+    EXPLICIT_FIELDS = ("name", "kind", "shapes", "non_gemm_flops",
+                       "non_gemm_bytes", "repeat", "step", "state_bytes")
+
+    @pytest.mark.parametrize("name", [
+        "resnet50",        # conv stages fold with repeat=1 (the default)
+        "llama-7b@decode",  # decode blocks fold repeat = layers x tokens
+        "bert",            # one phase, repeat = layers
+    ])
+    def test_every_phase_record_is_explicit(self, name):
+        import json
+
+        record = json.loads(workload_graph_by_name(name).to_json())
+        for phase_record in record["phases"]:
+            for field in self.EXPLICIT_FIELDS:
+                assert field in phase_record, (name, phase_record["name"], field)
+
+    def test_unfolded_default_repeat_survives_the_round_trip(self):
+        phase = small_phase(repeat=1)
+        clone = Phase.from_dict(phase.to_dict())
+        assert clone == phase
+        assert clone.repeat == 1 and "repeat" in phase.to_dict()
+
+    def test_cli_export_round_trips_through_a_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "graph.json"
+        assert main(["workloads", "export", "resnet50", "--output", str(target)]) == 0
+        capsys.readouterr()
+        clone = WorkloadGraph.from_json(target.read_text())
+        original = workload_graph_by_name("resnet50")
+        assert clone == original
+        assert clone.flatten().shapes == original.flatten().shapes
+
+    @pytest.mark.parametrize("name", sorted(workload_catalog()))
+    def test_flatten_is_invariant_under_round_trip(self, name):
+        graph = workload_graph_by_name(name)
+        clone = WorkloadGraph.from_json(graph.to_json())
+        assert clone.flatten().shapes == graph.flatten().shapes
+        assert clone.total_flops == graph.total_flops
+        assert clone.footprint_bytes == graph.footprint_bytes
+
+
 # ------------------------------------------------------------------ generators
 class TestLLMGraphs:
     def test_prefill_and_decode_phases_present(self):
