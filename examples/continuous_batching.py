@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Continuous batching walkthrough: request-level vs iteration-level serving.
+
+Builds a two-tenant LLM trace — a batch prompt-ingest tenant with a loose
+4 s TTFT target, and an interactive generation tenant with a tight 1 s TTFT /
+200 ms TPOT target and a higher priority tier — sized to 110% of fleet
+capacity: deliberate overload, the regime where the batching policy decides
+who waits.  The identical trace then runs through four serving modes on the
+same 4-node MACO fleet:
+
+* the legacy whole-request dispatcher (FCFS);
+* iteration-level continuous batching under FCFS admission;
+* continuous batching under the SLO-aware policy (priority tiers, then
+  earliest TTFT deadline), which protects the interactive tenant's first
+  token at the ingest tenant's expense;
+* the same SLO policy with the per-server KV budget tightened to 1.5x one
+  request's peak resident state, so decode batches outgrow the budget and
+  requests get preempted (keeping their progress, paying a restore penalty).
+
+Run with::
+
+    PYTHONPATH=src python examples/continuous_batching.py
+"""
+
+from repro.analysis import render_table
+from repro.core import maco_default_config
+from repro.serve import ServeSimulator, llm_tenants, poisson_trace
+
+NODES = 4
+SEED = 7
+#: Small LLaMA proxy so the walkthrough runs in seconds: 2 layers, a 128-token
+#: prompt and 64 decoded tokens in 8-token blocks (one prefill step plus eight
+#: KV-growing decode steps per generation request).
+VARIANT = "llama-7b@layers=2,prompt=128,decode=64,block=8"
+
+
+def main() -> None:
+    config = maco_default_config(num_nodes=NODES)
+
+    # Size arrival rates to 110% of fleet capacity, then stamp per-tenant SLO
+    # targets: the even (prefill-heavy) tenant is batch ingest, the odd
+    # (decode-heavy) tenant is interactive.  One trace serves every mode.
+    sizing = ServeSimulator(config=config)
+    specs = sizing.suggest_rates(llm_tenants(2, variant=VARIANT), utilization=1.1)
+    tenants = [
+        specs[0].with_slo(ttft_slo_s=4.0),
+        specs[1].with_slo(ttft_slo_s=1.0, tpot_slo_s=0.2, priority=1),
+    ]
+    duration = 120 / sum(spec.rate_rps for spec in tenants)  # ~120 requests
+    trace = poisson_trace(tenants, duration, seed=SEED)
+    print(f"trace: {len(trace)} requests from {len(trace.tenants)} tenants over "
+          f"{trace.duration_s:.1f} s at 110% of fleet capacity (seed {SEED})\n")
+
+    peak = max(
+        sizing.service_profile(workload).peak_state_bytes
+        for spec in tenants
+        for workload, _ in spec.mean_mix_weights()
+    )
+    runs = {
+        "request-level fcfs": ServeSimulator(config=config, scheduler="fcfs"),
+        "step fcfs": ServeSimulator(
+            config=config, scheduler="fcfs", batching="step", max_batch=4),
+        "step slo": ServeSimulator(
+            config=config, scheduler="slo", batching="step", max_batch=4),
+        "step slo, tight KV": ServeSimulator(
+            config=config, scheduler="slo", batching="step", max_batch=4,
+            kv_budget_bytes=peak * 1.5),
+    }
+    reports = {name: simulator.run(trace) for name, simulator in runs.items()}
+
+    rows = []
+    for name, report in reports.items():
+        interactive = next(t for t in report.tenants if t.name.endswith("decode"))
+        rows.append([
+            name,
+            f"{report.throughput_rps:.2f}",
+            f"{report.goodput_rps:.2f}",
+            f"{report.ttft_p95_s * 1e3:.0f}",
+            f"{interactive.ttft_p95_s * 1e3:.0f}",
+            f"{report.tpot_p95_s * 1e3:.1f}",
+            f"{report.slo_attainment * 100:.0f}%",
+            report.preemptions,
+        ])
+    print(render_table(
+        ["mode", "req/s", "goodput", "ttft p95 (ms)", "interactive ttft p95 (ms)",
+         "tpot p95 (ms)", "slo met", "preemptions"],
+        rows, title="Same overload trace, four serving modes"))
+
+    legacy = reports["request-level fcfs"]
+    slo = reports["step slo"]
+    tight = reports["step slo, tight KV"]
+    legacy_int = next(t for t in legacy.tenants if t.name.endswith("decode"))
+    slo_int = next(t for t in slo.tenants if t.name.endswith("decode"))
+    tight_int = next(t for t in tight.tenants if t.name.endswith("decode"))
+    print(f"\nUnder whole-request FCFS the interactive tenant's first token waits "
+          f"behind entire ingest requests: TTFT p95 {legacy_int.ttft_p95_s * 1e3:.0f} ms. "
+          f"SLO-aware continuous batching admits it between decode iterations and "
+          f"jumps it to the head of its deadline tier: {slo_int.ttft_p95_s * 1e3:.0f} ms, "
+          f"traded against slower decoding while requests share the server "
+          f"(fleet TPOT p95 {slo.tpot_p95_s * 1e3:.1f} ms vs "
+          f"{legacy.tpot_p95_s * 1e3:.1f} ms).")
+    print(f"Tightening the KV budget to 1.5x one request's peak state forces "
+          f"{tight.preemptions} preemptions (victims resume with their progress after "
+          f"a KV-restore stall) and caps concurrency, pulling the interactive TTFT "
+          f"p95 to {tight_int.ttft_p95_s * 1e3:.0f} ms.")
+
+
+if __name__ == "__main__":
+    main()

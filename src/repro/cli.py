@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli workloads describe llama-7b@decode
     python -m repro.cli parallel --strategy tp --degree 4
     python -m repro.cli serve --trace poisson --tenants 3 --seed 7 --tenant-mix llm
+    python -m repro.cli serve --tenant-mix llm --batching step --max-batch 8 \
+        --scheduler slo --slo 0.5:0.1
 
 The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
 matches the rows recorded in EXPERIMENTS.md.  The sweep-shaped commands
@@ -55,6 +57,7 @@ from repro.core import (
 )
 from repro.gemm import GEMMShape, Precision, hpl_like_workloads
 from repro.gemm.workloads import FIG6_MATRIX_SIZES, FIG7_MATRIX_SIZES
+from repro.serve.scheduler import SCHEDULER_NAMES
 from repro.workloads import (
     WorkloadGraph,
     catalog_entry,
@@ -384,6 +387,26 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_slo(text: str) -> tuple:
+    """Parse ``--slo TTFT[:TPOT]`` into ``(ttft_slo_s, tpot_slo_s)`` seconds.
+
+    ``"0.5"`` sets only a TTFT target, ``"0.5:0.1"`` both, ``":0.1"`` only a
+    TPOT target.  Targets must be positive.
+    """
+    ttft_text, _, tpot_text = text.partition(":")
+    try:
+        ttft = float(ttft_text) if ttft_text.strip() else None
+        tpot = float(tpot_text) if tpot_text.strip() else None
+    except ValueError:
+        raise ValueError(
+            f"malformed --slo {text!r}: expected TTFT[:TPOT] in seconds, e.g. 0.5:0.1")
+    if ttft is None and tpot is None:
+        raise ValueError(f"--slo {text!r} sets no target; pass TTFT, :TPOT or TTFT:TPOT")
+    if (ttft is not None and ttft <= 0) or (tpot is not None and tpot <= 0):
+        raise ValueError(f"--slo targets must be positive seconds, got {text!r}")
+    return ttft, tpot
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         ServeSimulator,
@@ -394,16 +417,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replay_trace,
     )
 
+    if args.kv_budget is None:
+        kv_budget_bytes = None
+    elif args.kv_budget == 0:
+        kv_budget_bytes = float("inf")
+    else:
+        kv_budget_bytes = args.kv_budget * 1e6
     config = maco_default_config(num_nodes=args.nodes)
     simulator = ServeSimulator(system=MACOSystem(config), scheduler=args.scheduler,
-                               jobs=args.jobs, parallelism=args.parallel)
+                               jobs=args.jobs, parallelism=args.parallel,
+                               batching=args.batching, max_batch=args.max_batch,
+                               kv_budget_bytes=kv_budget_bytes,
+                               preemption=not args.no_preemption)
     precision = Precision.from_string(args.precision)
     if args.trace == "replay":
         if not args.trace_file:
             raise ValueError("--trace replay requires --trace-file")
         parser_defaults = {"tenants": 3, "requests": 200, "rate": None,
                            "utilization": 0.7, "burst_factor": 8.0, "precision": "fp32",
-                           "tenant_mix": "suite"}
+                           "tenant_mix": "suite", "slo": None}
         ignored = [f"--{name.replace('_', '-')}" for name, default in parser_defaults.items()
                    if getattr(args, name) != default]
         if ignored:
@@ -422,6 +454,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             specs = simulator.suggest_rates(specs, utilization=args.utilization,
                                             precision=precision)
+        if args.slo is not None:
+            ttft_slo, tpot_slo = _parse_slo(args.slo)
+            specs = [spec.with_slo(ttft_slo_s=ttft_slo, tpot_slo_s=tpot_slo)
+                     for spec in specs]
         duration = args.requests / sum(spec.rate_rps for spec in specs)
         if args.trace == "bursty":
             trace = bursty_trace(specs, duration, seed=args.seed, precision=precision,
@@ -593,8 +629,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target fleet utilization used to size the default rate")
     serve.add_argument("--burst-factor", type=float, default=8.0,
                        help="burst rate multiplier for --trace bursty")
-    serve.add_argument("--scheduler", default="fcfs", choices=["fcfs", "sjf", "rr"],
-                       help="dispatch policy")
+    serve.add_argument("--scheduler", default="fcfs", choices=list(SCHEDULER_NAMES),
+                       help="admission/batching policy")
+    serve.add_argument("--batching", default="request", choices=["request", "step"],
+                       help="execution model: whole-request dispatch, or iteration-level "
+                            "continuous batching over workload-graph steps")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="resident requests per server under --batching step")
+    serve.add_argument("--kv-budget", type=float, default=None, metavar="MB",
+                       help="per-server budget for resident KV state under --batching "
+                            "step, in MB (default 4096; 0 = unlimited)")
+    serve.add_argument("--no-preemption", action="store_true",
+                       help="never evict resident requests under --batching step; the "
+                            "KV budget then only gates admission")
+    serve.add_argument("--slo", default=None, metavar="TTFT[:TPOT]",
+                       help="TTFT/TPOT targets in seconds applied to every generated "
+                            "tenant, e.g. 0.5:0.1 (reported as SLO attainment/goodput; "
+                            "the slo scheduler prioritises by TTFT deadline)")
     serve.add_argument("--nodes", type=int, default=8, help="compute nodes in the fleet")
     serve.add_argument("--parallel", default=None, metavar="STRATEGY:DEGREE",
                        help="serve each request on a node group instead of one node, "

@@ -1,19 +1,24 @@
 """Trace-driven multi-tenant inference serving on the MACO model.
 
-This package layers a request-level serving simulator over the system timing
-model: :mod:`repro.serve.trace` generates or replays tenant request arrivals,
-:mod:`repro.serve.scheduler` provides the dispatch policies (FCFS, SJF,
-round-robin per tenant), :mod:`repro.serve.simulator` runs the discrete-event
-loop against a :class:`~repro.core.maco.MACOSystem`, and
-:mod:`repro.serve.report` aggregates per-tenant and fleet-wide throughput,
-utilization, queue depth and p50/p95/p99 latency.
+This package layers a serving simulator over the system timing model:
+:mod:`repro.serve.trace` generates or replays tenant request arrivals (with
+optional per-tenant priorities and TTFT/TPOT SLO targets),
+:mod:`repro.serve.scheduler` provides the batching policies (FCFS, SJF,
+round-robin per tenant, priority tiers, SLO-aware EDF),
+:mod:`repro.serve.simulator` runs the discrete-event loop against a
+:class:`~repro.core.maco.MACOSystem` — either whole-request dispatch or
+iteration-level continuous batching with a paged KV budget and preemption —
+and :mod:`repro.serve.report` aggregates per-tenant and fleet-wide
+throughput, utilization, queue depth, p50/p95/p99 latency, TTFT/TPOT
+percentiles, SLO attainment and goodput.
 
 Typical use (also exposed as ``python -m repro.cli serve``)::
 
-    from repro.serve import ServeSimulator, default_tenants, poisson_trace
+    from repro.serve import ServeSimulator, llm_tenants, poisson_trace
 
-    sim = ServeSimulator(scheduler="rr")
-    tenants = sim.suggest_rates(default_tenants(3))
+    sim = ServeSimulator(scheduler="slo", batching="step", max_batch=8)
+    tenants = [spec.with_slo(ttft_slo_s=0.5, tpot_slo_s=0.1)
+               for spec in sim.suggest_rates(llm_tenants(3), utilization=1.1)]
     trace = poisson_trace(tenants, duration_s=2.0, seed=7)
     report = sim.run(trace)
     print(report.render())
@@ -22,15 +27,21 @@ Typical use (also exposed as ``python -m repro.cli serve``)::
 from repro.serve.report import NodeStats, ServeReport, TenantStats, build_report
 from repro.serve.scheduler import (
     SCHEDULER_NAMES,
+    BatchingPolicy,
     FCFSScheduler,
+    PriorityScheduler,
     RoundRobinScheduler,
     Scheduler,
     SJFScheduler,
+    SLOScheduler,
     scheduler_by_name,
 )
 from repro.serve.simulator import (
+    DEFAULT_KV_BUDGET_BYTES,
     TENANT_SWITCH_FLUSH_CYCLES,
     ServeSimulator,
+    ServiceProfile,
+    StepSpec,
     estimate_phase_service_seconds,
     estimate_service_seconds,
 )
@@ -54,16 +65,22 @@ __all__ = [
     "poisson_trace",
     "bursty_trace",
     "replay_trace",
+    "BatchingPolicy",
     "Scheduler",
     "FCFSScheduler",
     "SJFScheduler",
     "RoundRobinScheduler",
+    "PriorityScheduler",
+    "SLOScheduler",
     "SCHEDULER_NAMES",
     "scheduler_by_name",
     "ServeSimulator",
+    "ServiceProfile",
+    "StepSpec",
     "estimate_phase_service_seconds",
     "estimate_service_seconds",
     "TENANT_SWITCH_FLUSH_CYCLES",
+    "DEFAULT_KV_BUDGET_BYTES",
     "TenantStats",
     "NodeStats",
     "ServeReport",

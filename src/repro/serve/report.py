@@ -2,10 +2,21 @@
 
 :class:`ServeReport` is the single artefact a simulation run produces: fleet
 throughput and tail latency, per-tenant and per-node breakdowns, queueing and
-context-switch statistics.  It renders as aligned ASCII tables (for eyeballs
-and diffs) or a stable JSON document (``to_json`` sorts keys, so two runs with
-the same seed produce byte-identical output — the determinism tests compare
-these strings directly).
+context-switch statistics, and — for LLM-style workloads — the serving
+metrics that matter at iteration granularity:
+
+* **TTFT** (time to first token): arrival to the end of the request's first
+  step, i.e. how long a user stares at an empty screen;
+* **TPOT** (time per output token): the decode-side pace, ``(finish - first
+  token) / output tokens``, including any preemption stalls;
+* **SLO attainment**: the fraction of requests that met *both* of their
+  TTFT/TPOT targets (a request without targets counts as met);
+* **goodput**: throughput counting only SLO-met requests — the number a
+  capacity planner actually cares about under overload.
+
+It renders as aligned ASCII tables (for eyeballs and diffs) or a stable JSON
+document (``to_json`` sorts keys, so two runs with the same seed produce
+byte-identical output — the determinism tests compare these strings directly).
 """
 
 from __future__ import annotations
@@ -17,6 +28,24 @@ from typing import Dict, List, Sequence
 from repro.analysis.reporting import latency_summary, render_table
 
 __all__ = ["TenantStats", "NodeStats", "ServeReport", "build_report"]
+
+
+def _percentiles(values: Sequence[float]) -> Dict[str, float]:
+    """``latency_summary`` with an all-zero fallback for empty inputs."""
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return latency_summary(values)
+
+
+def _slo_met(entry: dict) -> bool:
+    """Did this completion meet its SLO targets?  No targets counts as met."""
+    ttft_slo = entry.get("ttft_slo_s")
+    tpot_slo = entry.get("tpot_slo_s")
+    if ttft_slo is not None and entry.get("ttft_s", 0.0) > ttft_slo:
+        return False
+    if tpot_slo is not None and entry.get("tpot_s", 0.0) > tpot_slo:
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -31,6 +60,15 @@ class TenantStats:
     latency_p95_s: float
     latency_p99_s: float
     wait_mean_s: float
+    ttft_p50_s: float = 0.0
+    ttft_p95_s: float = 0.0
+    ttft_p99_s: float = 0.0
+    tpot_p50_s: float = 0.0
+    tpot_p95_s: float = 0.0
+    tpot_p99_s: float = 0.0
+    slo_attainment: float = 1.0
+    goodput_rps: float = 0.0
+    preemptions: int = 0
 
 
 @dataclass(frozen=True)
@@ -43,6 +81,7 @@ class NodeStats:
     utilization: float
     tenant_switches: int
     switch_s: float
+    preemptions: int = 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +101,16 @@ class ServeReport:
     queue_depth_mean: float
     queue_depth_max: int
     context_switch_s: float
+    batching: str = "request"
+    ttft_p50_s: float = 0.0
+    ttft_p95_s: float = 0.0
+    ttft_p99_s: float = 0.0
+    tpot_p50_s: float = 0.0
+    tpot_p95_s: float = 0.0
+    tpot_p99_s: float = 0.0
+    slo_attainment: float = 1.0
+    goodput_rps: float = 0.0
+    preemptions: int = 0
     tenants: List[TenantStats] = field(default_factory=list)
     nodes: List[NodeStats] = field(default_factory=list)
 
@@ -91,25 +140,41 @@ class ServeReport:
              ms(stats.wait_mean_s)]
             for stats in self.tenants
         ]
+        slo_rows = [
+            [stats.name, ms(stats.ttft_p50_s), ms(stats.ttft_p95_s),
+             ms(stats.tpot_p50_s), ms(stats.tpot_p95_s),
+             f"{stats.slo_attainment * 100:.1f}%", f"{stats.goodput_rps:.2f}",
+             stats.preemptions]
+            for stats in self.tenants
+        ]
         node_rows = [
             [stats.node_id, stats.completed, f"{stats.busy_s * 1e3:.1f}",
-             f"{stats.utilization * 100:.1f}%", stats.tenant_switches]
+             f"{stats.utilization * 100:.1f}%", stats.tenant_switches, stats.preemptions]
             for stats in self.nodes
         ]
         sections = [
-            f"Serve report - {self.scheduler} scheduler, trace {self.trace}: "
+            f"Serve report - {self.scheduler} scheduler ({self.batching} batching), "
+            f"trace {self.trace}: "
             f"{self.total_requests} requests on {self.num_nodes} nodes "
-            f"in {self.makespan_s:.3f} s ({self.throughput_rps:.2f} req/s)",
+            f"in {self.makespan_s:.3f} s ({self.throughput_rps:.2f} req/s, "
+            f"goodput {self.goodput_rps:.2f} req/s)",
             render_table(
                 ["tenant", "requests", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean wait (ms)"],
                 tenant_rows, title="Per-tenant latency and throughput"),
             render_table(
-                ["node", "completed", "busy (ms)", "utilization", "tenant switches"],
+                ["tenant", "ttft p50 (ms)", "ttft p95 (ms)", "tpot p50 (ms)", "tpot p95 (ms)",
+                 "slo met", "goodput (req/s)", "preemptions"],
+                slo_rows, title="Per-tenant token latency and SLO attainment"),
+            render_table(
+                ["node", "completed", "busy (ms)", "utilization", "tenant switches", "preemptions"],
                 node_rows, title="Per-node utilization"),
             (f"fleet: p50 {ms(self.latency_p50_s)} ms, p95 {ms(self.latency_p95_s)} ms, "
-             f"p99 {ms(self.latency_p99_s)} ms | mean utilization "
+             f"p99 {ms(self.latency_p99_s)} ms | ttft p95 {ms(self.ttft_p95_s)} ms, "
+             f"tpot p95 {ms(self.tpot_p95_s)} ms | slo attainment "
+             f"{self.slo_attainment * 100:.1f}% | mean utilization "
              f"{self.mean_utilization * 100:.1f}% | queue depth mean {self.queue_depth_mean:.2f} "
-             f"max {self.queue_depth_max} | context-switch time {self.context_switch_s * 1e3:.3f} ms"),
+             f"max {self.queue_depth_max} | context-switch time {self.context_switch_s * 1e3:.3f} ms"
+             f" | preemptions {self.preemptions}"),
         ]
         return "\n\n".join(sections)
 
@@ -122,14 +187,18 @@ def build_report(
     node_stats: Sequence[NodeStats],
     queue_depth_mean: float,
     queue_depth_max: int,
+    batching: str = "request",
 ) -> ServeReport:
     """Assemble a :class:`ServeReport` from raw per-request completion records.
 
     ``completions`` entries carry ``tenant``, ``arrival_s``, ``start_s``,
     ``finish_s`` and ``switch_s``; latency is ``finish - arrival`` and wait is
-    ``start - arrival``.  The makespan is the last finish time, and every
-    throughput figure divides by it, so per-tenant throughputs sum exactly to
-    the fleet throughput.
+    ``start - arrival``.  Step-mode entries additionally carry ``ttft_s``,
+    ``tpot_s``, the SLO targets (``ttft_slo_s``/``tpot_slo_s``) and a
+    ``preemptions`` count — all optional, so request-level records and older
+    callers keep working unchanged.  The makespan is the last finish time, and
+    every throughput figure divides by it, so per-tenant throughputs (and
+    goodputs) sum exactly to the fleet numbers.
     """
     makespan = max((entry["finish_s"] for entry in completions), default=0.0)
     latencies = [entry["finish_s"] - entry["arrival_s"] for entry in completions]
@@ -143,6 +212,9 @@ def build_report(
         tenant_latencies = [entry["finish_s"] - entry["arrival_s"] for entry in entries]
         waits = [entry["start_s"] - entry["arrival_s"] for entry in entries]
         summary = latency_summary(tenant_latencies)
+        ttft = _percentiles([entry.get("ttft_s", 0.0) for entry in entries])
+        tpot = _percentiles([entry.get("tpot_s", 0.0) for entry in entries])
+        met = sum(1 for entry in entries if _slo_met(entry))
         tenants.append(TenantStats(
             name=name,
             requests=len(entries),
@@ -152,12 +224,21 @@ def build_report(
             latency_p95_s=summary["p95"],
             latency_p99_s=summary["p99"],
             wait_mean_s=sum(waits) / len(waits),
+            ttft_p50_s=ttft["p50"],
+            ttft_p95_s=ttft["p95"],
+            ttft_p99_s=ttft["p99"],
+            tpot_p50_s=tpot["p50"],
+            tpot_p95_s=tpot["p95"],
+            tpot_p99_s=tpot["p99"],
+            slo_attainment=met / len(entries),
+            goodput_rps=met / makespan if makespan else 0.0,
+            preemptions=sum(int(entry.get("preemptions", 0)) for entry in entries),
         ))
 
-    if latencies:
-        fleet = latency_summary(latencies)
-    else:
-        fleet = {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    fleet = _percentiles(latencies)
+    fleet_ttft = _percentiles([entry.get("ttft_s", 0.0) for entry in completions])
+    fleet_tpot = _percentiles([entry.get("tpot_s", 0.0) for entry in completions])
+    fleet_met = sum(1 for entry in completions if _slo_met(entry))
     return ServeReport(
         trace=trace_name,
         scheduler=scheduler_name,
@@ -172,6 +253,16 @@ def build_report(
         queue_depth_mean=queue_depth_mean,
         queue_depth_max=queue_depth_max,
         context_switch_s=sum(node.switch_s for node in node_stats),
+        batching=batching,
+        ttft_p50_s=fleet_ttft["p50"],
+        ttft_p95_s=fleet_ttft["p95"],
+        ttft_p99_s=fleet_ttft["p99"],
+        tpot_p50_s=fleet_tpot["p50"],
+        tpot_p95_s=fleet_tpot["p95"],
+        tpot_p99_s=fleet_tpot["p99"],
+        slo_attainment=fleet_met / len(completions) if completions else 1.0,
+        goodput_rps=fleet_met / makespan if makespan else 0.0,
+        preemptions=sum(int(entry.get("preemptions", 0)) for entry in completions),
         tenants=tenants,
         nodes=list(node_stats),
     )

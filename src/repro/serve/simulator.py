@@ -2,25 +2,42 @@
 
 :class:`ServeSimulator` composes the existing machinery into a serving
 scenario: arrivals come from a :class:`~repro.serve.trace.RequestTrace`, a
-:class:`~repro.serve.scheduler.Scheduler` policy picks the next request each
-time a node frees up, and each dispatched request occupies one
-:class:`~repro.core.maco.MACOSystem` compute node for its analytically
-estimated service time.  Tenant interleaving on a node is charged the
-:class:`~repro.cpu.process.ProcessManager` context-switch cost plus an
-ASID-flush penalty, and every timing estimate runs through the shared
-:class:`~repro.core.perf.TimingCache`, so repeated model shapes are walked
-once per process.
+:class:`~repro.serve.scheduler.BatchingPolicy` orders admission, and every
+timing estimate runs through the shared :class:`~repro.core.perf.TimingCache`,
+so repeated model shapes are walked once per process.  Tenant interleaving on
+a node is charged the :class:`~repro.cpu.process.ProcessManager`
+context-switch cost plus an ASID-flush penalty.
 
-Two fidelities coexist (see docs/ARCHITECTURE.md): the event loop itself uses
-the analytic timing model — simulating a million-request trace is cheap — and
-:meth:`ServeSimulator.functional_smoke` pushes a handful of small GEMMs
+Two execution models coexist (``batching=``):
+
+* **request** — the legacy non-preemptive multi-server queue: whenever the
+  earliest-free server (a node, or a node group under parallelism) frees up,
+  the policy pops one request and the server is busy for the switch cost plus
+  the whole analytic service estimate.
+* **step** — iteration-level continuous batching: each request is lowered to
+  the *steps* of its :class:`~repro.workloads.graph.WorkloadGraph` (one
+  prefill step, then one step per decode block), and each server runs a
+  *batch* of up to ``max_batch`` resident requests, executing one step per
+  member per iteration.  New requests are admitted between iterations when a
+  batch slot and enough of the server's paged KV budget (the phases'
+  ``state_bytes``) are free; when the resident state outgrows the budget, the
+  policy picks a victim to preempt — it keeps its progress, re-enters the
+  waiting queue at its original ``(arrival, id)`` position, and pays a
+  KV-restore penalty (state bytes over the node's DRAM-bandwidth share) on
+  resume.  At ``max_batch=1`` with preemption disabled the step model reduces
+  to the request model, and the simulator takes that exact code path so the
+  reports agree byte for byte.
+
+Two fidelities also coexist (see docs/ARCHITECTURE.md): the event loop itself
+uses the analytic timing model — simulating a million-request trace is cheap —
+and :meth:`ServeSimulator.functional_smoke` pushes a handful of small GEMMs
 through the real MPAIS async path (``MA_CFG``/``MA_READ``/``MA_STATE``) to
 prove the dispatch plumbing against the functional machine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.batch import SweepRunner, _task_cache
@@ -38,11 +55,14 @@ from repro.cpu.process import Process
 from repro.gemm.precision import Precision
 from repro.mem.dram import DRAMModel
 from repro.serve.report import NodeStats, ServeReport, build_report
-from repro.serve.scheduler import Scheduler, scheduler_by_name
+from repro.serve.scheduler import BatchingPolicy, scheduler_by_name
 from repro.serve.trace import Request, RequestTrace, TenantSpec
 
 __all__ = [
     "TENANT_SWITCH_FLUSH_CYCLES",
+    "DEFAULT_KV_BUDGET_BYTES",
+    "StepSpec",
+    "ServiceProfile",
     "estimate_phase_service_seconds",
     "estimate_service_seconds",
     "ServeSimulator",
@@ -54,6 +74,59 @@ __all__ = [
 #: shared L2 TLB and the mATLB invalidate (one cycle per entry, conservatively
 #: charged in the CPU clock domain).  See DESIGN.md section 7.3.
 TENANT_SWITCH_FLUSH_CYCLES = 1024
+
+#: Default per-server budget for resident serving state (the paged KV cache)
+#: in step-batching mode: 4 GiB of the node's DDR, a conservative slice that
+#: leaves the rest for weights and activations.  The MACO config carries no
+#: per-node capacity (the DRAM model is bandwidth-only), so this is a serving
+#: policy knob, not a hardware parameter — override it per run with
+#: ``kv_budget_bytes`` / ``--kv-budget``.  See DESIGN.md section 8.
+DEFAULT_KV_BUDGET_BYTES = 4 << 30
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One schedulable step of a request: a phase of its workload graph.
+
+    ``seconds`` is the phase's analytic service time on one server of the
+    fleet (all ``repeat`` executions), ``stage`` its pipeline stage (0 outside
+    pipeline parallelism), ``state_bytes`` the resident state (KV cache) the
+    request holds *after* this step — the paged-KV occupancy the step-mode
+    event loop charges against the server budget — and ``tokens`` the output
+    tokens the step emits (0 for prefill and non-LLM phases).
+    """
+
+    name: str
+    seconds: float
+    stage: int
+    state_bytes: int
+    tokens: int
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """A workload's full service profile on one server of the fleet.
+
+    ``latency_s`` is the end-to-end service time of a request running alone
+    (the sum of its step seconds); ``interval_s`` the steady-state occupancy
+    it adds to a pipeline-parallel group (the busiest stage's seconds; equal
+    to the latency everywhere else); ``steps`` the per-phase breakdown the
+    step-mode event loop schedules.
+    """
+
+    latency_s: float
+    interval_s: float
+    steps: Tuple[StepSpec, ...]
+
+    @property
+    def total_tokens(self) -> int:
+        """Output tokens one request emits (0 for graphs without decode)."""
+        return sum(step.tokens for step in self.steps)
+
+    @property
+    def peak_state_bytes(self) -> int:
+        """Largest resident state any step holds — the feasibility floor."""
+        return max(step.state_bytes for step in self.steps)
 
 
 def estimate_phase_service_seconds(
@@ -95,7 +168,7 @@ def estimate_phase_service_seconds(
         config, workload_name, precision, active_nodes, cache=cache,
         parallelism=parallelism, group=group, background=background,
     )
-    return [(name, seconds) for name, seconds, _ in rows]
+    return [(name, seconds) for name, seconds, _, _ in rows]
 
 
 def _phase_service_rows(
@@ -107,12 +180,14 @@ def _phase_service_rows(
     parallelism: Optional[str] = None,
     group: Optional[Sequence[int]] = None,
     background: Sequence[Sequence[int]] = (),
-) -> Tuple[List[Tuple[str, float, int]], Optional[str]]:
-    """``(phase name, seconds, pipeline stage)`` rows plus the resolved strategy.
+) -> Tuple[List[Tuple[str, float, int, int]], Optional[str]]:
+    """``(phase name, seconds, pipeline stage, sharers)`` rows plus the strategy.
 
     The implementation behind :func:`estimate_phase_service_seconds`; the
     stage index (0 outside pipeline parallelism) lets the simulator compute
-    the group's steady-state pipeline interval.
+    the group's steady-state pipeline interval, and ``sharers`` — the nodes a
+    phase is sharded over — lets it divide the phase's resident state across
+    a tensor-parallel group (each node holds its KV shard).
     """
     from repro.workloads.registry import workload_graph_by_name
 
@@ -139,7 +214,7 @@ def _phase_service_rows(
             background=background,
         )
 
-    results: List[Tuple[str, float, int]] = []
+    results: List[Tuple[str, float, int, int]] = []
     for index, phase in enumerate(graph.phases):
         stash_bytes = 0
         for shape in phase.shapes:
@@ -171,7 +246,7 @@ def _phase_service_rows(
             mapping_enabled=config.mapping_scheme_enabled,
         )
         stage = plan.phases[index].stage if plan is not None else 0
-        results.append((phase.name, schedule.total_seconds + comm_seconds, stage))
+        results.append((phase.name, schedule.total_seconds + comm_seconds, stage, sharers))
     return results, (plan.strategy if plan is not None else None)
 
 
@@ -205,7 +280,7 @@ def estimate_service_seconds(
     )
 
 
-def _service_times(
+def _service_profile(
     config: MACOConfig,
     workload_name: str,
     precision: Precision,
@@ -214,35 +289,49 @@ def _service_times(
     parallelism: Optional[str] = None,
     group: Optional[Sequence[int]] = None,
     background: Sequence[Sequence[int]] = (),
-) -> Tuple[float, float]:
-    """``(latency, interval)`` of one request on one server.
+) -> ServiceProfile:
+    """Build the :class:`ServiceProfile` of one workload on one server.
 
-    ``latency`` is the end-to-end service time a request observes
-    (:func:`estimate_service_seconds`).  ``interval`` is the steady-state
-    occupancy the request adds to its server: for pipeline parallelism the
-    busiest stage's seconds — back-to-back same-tenant requests overlap
-    across stages, so the group admits the next request one interval after
-    the last — and simply the latency everywhere else (a node, or a
-    tensor-parallel group, is busy for the whole request).
+    ``latency_s`` is the end-to-end service time a request observes.
+    ``interval_s`` is the steady-state occupancy the request adds to its
+    server: for pipeline parallelism the busiest stage's seconds —
+    back-to-back same-tenant requests overlap across stages, so the group
+    admits the next request one interval after the last — and simply the
+    latency everywhere else.  ``steps`` carries the per-phase timing plus the
+    resident-state and token metadata from the workload graph; a
+    tensor-parallel group holds each phase's state sharded ``sharers`` ways.
     """
+    from repro.workloads.registry import workload_graph_by_name
+
     rows, strategy = _phase_service_rows(
         config, workload_name, precision, active_nodes, cache=cache,
         parallelism=parallelism, group=group, background=background,
     )
-    latency = sum(seconds for _, seconds, _ in rows)
+    graph = workload_graph_by_name(workload_name, precision)
+    steps = tuple(
+        StepSpec(
+            name=name,
+            seconds=seconds,
+            stage=stage,
+            state_bytes=phase.state_bytes // sharers,
+            tokens=phase.tokens,
+        )
+        for (name, seconds, stage, sharers), phase in zip(rows, graph.phases)
+    )
+    latency = sum(seconds for _, seconds, _, _ in rows)
     if strategy != "pp":
-        return latency, latency
-    per_stage: dict = {}
-    for _, seconds, stage in rows:
+        return ServiceProfile(latency_s=latency, interval_s=latency, steps=steps)
+    per_stage: Dict[int, float] = {}
+    for _, seconds, stage, _ in rows:
         per_stage[stage] = per_stage.get(stage, 0.0) + seconds
-    return latency, max(per_stage.values())
+    return ServiceProfile(latency_s=latency, interval_s=max(per_stage.values()), steps=steps)
 
 
-def _service_worker(payload) -> Tuple[float, float]:
-    """Pool worker: estimate one server's ``(latency, interval)`` for a workload."""
+def _service_worker(payload) -> ServiceProfile:
+    """Pool worker: estimate one server's :class:`ServiceProfile` for a workload."""
     (config, workload_name, precision, active_nodes,
      parallelism, group, background), cache = payload
-    return _service_times(
+    return _service_profile(
         config, workload_name, precision, active_nodes, cache=_task_cache(cache),
         parallelism=parallelism, group=group, background=background,
     )
@@ -250,12 +339,16 @@ def _service_worker(payload) -> Tuple[float, float]:
 
 @dataclass
 class _NodeState:
-    """Mutable per-server bookkeeping for the event loop.
+    """Mutable per-server bookkeeping for the event loops.
 
-    ``free_at`` is when the server can *admit* its next request; ``drain_at``
-    is when its last request actually finishes.  They coincide except on a
-    pipeline-parallel group, which admits a same-tenant request one pipeline
-    interval after the last while earlier requests drain through the stages.
+    Request mode: ``free_at`` is when the server can *admit* its next request;
+    ``drain_at`` is when its last request actually finishes.  They coincide
+    except on a pipeline-parallel group, which admits a same-tenant request
+    one pipeline interval after the last while earlier requests drain through
+    the stages.
+
+    Step mode: ``free_at`` is the server's iteration clock — the instant its
+    next batch iteration starts — and ``batch`` holds the resident requests.
     """
 
     node_id: int
@@ -265,17 +358,47 @@ class _NodeState:
     switch_s: float = 0.0
     completed: int = 0
     tenant_switches: int = 0
+    preemptions: int = 0
     last_tenant: Optional[str] = None
+    batch: List["_RunningRequest"] = field(default_factory=list)
+
+
+@dataclass
+class _RunningRequest:
+    """A request's mutable progress through its steps (step mode only)."""
+
+    request: Request
+    profile: ServiceProfile
+    step_index: int = 0
+    start_s: Optional[float] = None  # first admission into a batch
+    first_token_s: Optional[float] = None  # completion of the first step
+    switch_s: float = 0.0
+    preemptions: int = 0
+    restore_pending: bool = False  # pay the KV-restore penalty on the next step
+
+    @property
+    def next_state_bytes(self) -> int:
+        """Resident state this request holds after its next step."""
+        return self.profile.steps[self.step_index].state_bytes
 
 
 class ServeSimulator:
-    """Simulates a request trace against a MACO fleet under a dispatch policy.
+    """Simulates a request trace against a MACO fleet under a batching policy.
 
-    ``scheduler`` is a policy name (``fcfs``, ``sjf``, ``rr``); ``jobs`` fans
-    the per-workload service estimation out over a
+    ``scheduler`` is a policy name (see
+    :data:`~repro.serve.scheduler.SCHEDULER_NAMES`); ``jobs`` fans the
+    per-workload service estimation out over a
     :class:`~repro.core.batch.SweepRunner` pool (the event loop itself is
     always serial and deterministic, so the report is bit-identical for every
     ``jobs`` setting).
+
+    ``batching`` selects the execution model (see the module docstring):
+    ``"request"`` runs the legacy whole-request dispatch, ``"step"`` the
+    iteration-level continuous-batching loop with up to ``max_batch``
+    resident requests per server, a paged-KV budget of ``kv_budget_bytes``
+    per server (``None`` means :data:`DEFAULT_KV_BUDGET_BYTES`;
+    ``float("inf")`` disables the budget), and — unless ``preemption`` is
+    off — policy-selected eviction when the resident state outgrows it.
 
     ``parallelism`` (``"tp:4"``-style, see :mod:`repro.parallel`) shards
     every request across a node *group* instead of serving it on one node:
@@ -285,10 +408,12 @@ class ServeSimulator:
     (every other group is priced as background traffic — the steady-state
     worst case, consistent with the memory-environment model).  A
     pipeline-parallel group overlaps back-to-back same-tenant requests
-    across its stages: it admits the next request one pipeline interval
-    after the last, while each request still observes the full stage-sum
-    latency (a tenant change waits for the pipeline to drain).  ``tp:1``
-    reproduces the unsharded simulation bit for bit.
+    across its stages: in request mode it admits the next request one
+    pipeline interval after the last, and in step mode batch members in
+    different stages advance concurrently within an iteration.  A
+    tensor-parallel group holds each request's KV state sharded across its
+    nodes, so the budget check sees the per-node share.  ``tp:1`` reproduces
+    the unsharded simulation bit for bit.
     """
 
     def __init__(
@@ -299,13 +424,29 @@ class ServeSimulator:
         jobs: Optional[int] = None,
         cache: Optional[TimingCache] = None,
         parallelism: Optional[str] = None,
+        batching: str = "request",
+        max_batch: int = 8,
+        kv_budget_bytes: Optional[float] = None,
+        preemption: bool = True,
     ) -> None:
         if system is not None and config is not None:
             raise ValueError("pass either a system or a config, not both")
+        if batching not in ("request", "step"):
+            raise ValueError(f"batching must be 'request' or 'step', got {batching!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if kv_budget_bytes is None:
+            kv_budget_bytes = DEFAULT_KV_BUDGET_BYTES
+        if not kv_budget_bytes > 0:
+            raise ValueError(f"kv_budget_bytes must be positive, got {kv_budget_bytes}")
         if system is None:
             system = MACOSystem(config if config is not None else maco_default_config())
         self.system = system
         self.scheduler_name = scheduler
+        self.batching = batching
+        self.max_batch = max_batch
+        self.kv_budget_bytes = kv_budget_bytes
+        self.preemption = preemption
         self.runner = SweepRunner(jobs=jobs if jobs is not None else 1, cache=cache)
         if parallelism is None:
             self.parallelism = None
@@ -316,7 +457,7 @@ class ServeSimulator:
             spec = ParallelismSpec.parse(parallelism)
             self.parallelism = str(spec)
             self.groups = node_groups(self.system.num_nodes, spec.degree)
-        self._services: Dict[Tuple[str, Precision, int], Tuple[float, float]] = {}
+        self._services: Dict[Tuple[str, Precision, int], ServiceProfile] = {}
         # One serving process per (node, tenant): created lazily through the
         # node CPU's ProcessManager so ASIDs and switch accounting are real.
         self._tenant_processes: List[Dict[str, Process]] = [
@@ -348,17 +489,17 @@ class ServeSimulator:
         ``server`` selects the group; without parallelism every node is
         identical and the argument is ignored.
         """
-        return self._service_pair(workload_name, precision, server)[0]
+        return self.service_profile(workload_name, precision, server).latency_s
 
-    def _service_pair(
-        self, workload_name: str, precision: Precision, server: int = 0
-    ) -> Tuple[float, float]:
-        """Memoised ``(latency, interval)`` — see :func:`_service_times`."""
+    def service_profile(
+        self, workload_name: str, precision: Precision = Precision.FP32, server: int = 0
+    ) -> ServiceProfile:
+        """Memoised :class:`ServiceProfile` of one workload on one server."""
         if self.parallelism is None:
             server = 0
         key = (workload_name, precision, server)
         if key not in self._services:
-            self._services[key] = _service_times(
+            self._services[key] = _service_profile(
                 self.system.config, workload_name, precision,
                 active_nodes=self.system.num_nodes, cache=self.runner.cache,
                 parallelism=self.parallelism,
@@ -366,6 +507,17 @@ class ServeSimulator:
                 background=self._background(server),
             )
         return self._services[key]
+
+    def _service_pair(
+        self, workload_name: str, precision: Precision = Precision.FP32, server: int = 0
+    ) -> Tuple[float, float]:
+        """(latency, admission interval) of one workload on one server.
+
+        The interval is below the latency exactly when a pipeline-parallel
+        group can overlap back-to-back same-tenant requests.
+        """
+        profile = self.service_profile(workload_name, precision, server)
+        return profile.latency_s, profile.interval_s
 
     def phase_profile(
         self, workload_name: str, precision: Precision = Precision.FP32, server: int = 0
@@ -375,13 +527,8 @@ class ServeSimulator:
         The breakdown that :meth:`service_seconds` sums — useful to see why a
         decode-heavy request behaves differently from a prefill-heavy one.
         """
-        return estimate_phase_service_seconds(
-            self.system.config, workload_name, precision,
-            active_nodes=self.system.num_nodes, cache=self.runner.cache,
-            parallelism=self.parallelism,
-            group=self.groups[server] if self.parallelism is not None else None,
-            background=self._background(server),
-        )
+        profile = self.service_profile(workload_name, precision, server)
+        return [(step.name, step.seconds) for step in profile.steps]
 
     def _ensure_services(self, pairs: Sequence[Tuple[str, Precision]]) -> None:
         """Estimate the given (workload, precision) pairs, fanning out over the runner's pool.
@@ -406,8 +553,8 @@ class ServeSimulator:
              self._background(server))
             for workload, precision, server in missing
         ]
-        for key, pair in zip(missing, self.runner.map(_service_worker, tasks)):
-            self._services[key] = pair
+        for key, profile in zip(missing, self.runner.map(_service_worker, tasks)):
+            self._services[key] = profile
 
     def _prepare_services(self, trace: RequestTrace) -> None:
         """Estimate every distinct (workload, precision) in the trace, possibly in parallel."""
@@ -424,6 +571,9 @@ class ServeSimulator:
         Each tenant gets an equal share of the fleet's service capacity:
         ``rate = utilization * nodes / (tenants * mean service seconds)``,
         where the mean service time is weighted by the tenant's workload mix.
+        Utilizations above 1 deliberately overload the fleet — the regime
+        where continuous batching, preemption and SLO-aware admission earn
+        their keep.
         """
         if not 0 < utilization:
             raise ValueError(f"utilization must be positive, got {utilization}")
@@ -475,15 +625,28 @@ class ServeSimulator:
     def run(self, trace: RequestTrace) -> ServeReport:
         """Simulate the trace to completion and return the aggregated report.
 
-        Non-preemptive multi-server queue: whenever the earliest-free server
-        (a node, or a node group under parallelism) frees up, every request
-        that has arrived by then is admitted to the scheduler, the policy
-        pops one, and the server is busy for the switch cost plus the service
-        estimate.  All tie-breaks are deterministic, so identical traces
-        yield bit-identical reports.
+        Dispatches on ``batching`` (see the class docstring).  A step-mode
+        simulator with ``max_batch=1`` and preemption disabled is semantically
+        the request-level queue — one resident request per server, steps
+        back-to-back — so it takes the request-level path and reproduces the
+        legacy report byte for byte (modulo the ``batching`` label).  All
+        tie-breaks in both loops are deterministic, so identical traces yield
+        bit-identical reports.
+        """
+        if self.batching == "request" or (self.max_batch == 1 and not self.preemption):
+            return self._run_request_level(trace)
+        return self._run_step_level(trace)
+
+    def _run_request_level(self, trace: RequestTrace) -> ServeReport:
+        """The legacy non-preemptive multi-server queue.
+
+        Whenever the earliest-free server (a node, or a node group under
+        parallelism) frees up, every request that has arrived by then is
+        admitted to the policy queue, the policy pops one, and the server is
+        busy for the switch cost plus the service estimate.
         """
         self._prepare_services(trace)
-        scheduler: Scheduler = scheduler_by_name(
+        scheduler: BatchingPolicy = scheduler_by_name(
             self.scheduler_name,
             estimator=lambda request: self.service_seconds(request.workload, request.precision),
         )
@@ -534,15 +697,18 @@ class ServeSimulator:
             # so count it in the depth integral over (last event, start).
             advance(start, extra_queued=1)
             switch_s = self._switch_seconds(state, request.tenant)
-            service_s, interval_s = self._service_pair(
+            profile = self.service_profile(
                 request.workload, request.precision, server=state.node_id)
-            finish = start + switch_s + service_s
+            dispatch = start + switch_s
+            finish = dispatch + profile.latency_s
+            first_token = dispatch + profile.steps[0].seconds
+            tokens = profile.total_tokens
             # The server admits its next request one pipeline interval after
             # this one entered; for non-pipelined servers the interval is the
             # full service time and free_at lands exactly on finish.
-            state.free_at = start + switch_s + interval_s
+            state.free_at = dispatch + profile.interval_s
             state.drain_at = finish
-            state.busy_s += switch_s + interval_s
+            state.busy_s += switch_s + profile.interval_s
             state.switch_s += switch_s
             state.completed += 1
             state.last_tenant = request.tenant
@@ -552,10 +718,209 @@ class ServeSimulator:
                 "start_s": start,
                 "finish_s": finish,
                 "switch_s": switch_s,
+                "ttft_s": first_token - request.arrival_s,
+                "tpot_s": (finish - first_token) / tokens if tokens else 0.0,
+                "tokens": tokens,
+                "ttft_slo_s": request.ttft_slo_s,
+                "tpot_slo_s": request.tpot_slo_s,
+                "preemptions": 0,
             })
 
         makespan = max((entry["finish_s"] for entry in completions), default=0.0)
         advance(makespan)
+        return self._build_report(trace, states, completions,
+                                  depth_area, depth_max, makespan)
+
+    def _run_step_level(self, trace: RequestTrace) -> ServeReport:
+        """Iteration-level continuous batching with KV paging and preemption.
+
+        Each server holds a running batch of up to ``max_batch`` requests and
+        advances in *iterations*: one step per member, members executed in
+        ``(arrival, id)`` order with per-pipeline-stage local clocks (stages
+        overlap; within a stage steps serialise).  Between iterations the
+        server admits waiting requests in policy order — head-of-line only,
+        so admission order is exactly the policy order — as long as a batch
+        slot is free, the candidate has arrived by the server's clock, and
+        its resident state fits the KV budget next to the current members'.
+        When members' growing KV outruns the budget, the policy picks victims
+        to preempt until the batch fits again; a victim keeps its step
+        progress, re-enters the waiting queue at its original ``(arrival,
+        id)`` position, and pays a restore penalty (its state bytes over the
+        node's DRAM-bandwidth share) on its next step.  With ``preemption``
+        off the budget still gates admission but resident requests are never
+        evicted.  Every choice ties-breaks on ``(arrival, id)``, so the loop
+        is deterministic.
+        """
+        self._prepare_services(trace)
+        policy: BatchingPolicy = scheduler_by_name(
+            self.scheduler_name,
+            estimator=lambda request: self.service_seconds(request.workload, request.precision),
+        )
+        budget = self.kv_budget_bytes
+        servers = range(self.num_servers) if self.parallelism is not None else (0,)
+        for workload, precision in sorted(
+            {(request.workload, request.precision) for request in trace},
+            key=lambda pair: (pair[0], pair[1].name),
+        ):
+            for server in servers:
+                peak = self.service_profile(workload, precision, server).peak_state_bytes
+                if peak > budget:
+                    raise ValueError(
+                        f"workload {workload!r} needs {peak / 1e6:.1f} MB of resident state "
+                        f"but the per-server KV budget is {budget / 1e6:.1f} MB; "
+                        "raise kv_budget_bytes - a request must fit alone")
+        dram = DRAMModel(config=self.system.config.memory.dram)
+        restore_bandwidth = (
+            dram.effective_bandwidth(self.system.num_nodes) / self.system.num_nodes)
+
+        states = [_NodeState(node_id=index) for index in range(self.num_servers)]
+        arrivals: List[Request] = sorted(
+            trace.requests, key=lambda request: (request.arrival_s, request.request_id))
+        runtimes: Dict[int, _RunningRequest] = {}
+        completions: List[dict] = []
+        index = 0
+        last_event_t = 0.0
+        depth_area = 0.0
+        depth_max = 0
+
+        def advance(now: float, extra_queued: int = 0) -> None:
+            nonlocal last_event_t, depth_area
+            if now > last_event_t:
+                depth_area += (len(policy) + extra_queued) * (now - last_event_t)
+                last_event_t = now
+
+        def push(request: Request) -> None:
+            nonlocal depth_max
+            policy.push(request)
+            depth_max = max(depth_max, len(policy))
+
+        while index < len(arrivals) or len(policy) or any(s.batch for s in states):
+            busy = [s for s in states if s.batch]
+            if len(policy):
+                candidates = states
+            elif busy:
+                candidates = busy
+            else:
+                # Globally idle: jump to the next arrival instant (admit ties
+                # too) without touching any server clock — the admitting
+                # server backdates its clock to the arrival below.
+                now = arrivals[index].arrival_s
+                while index < len(arrivals) and arrivals[index].arrival_s <= now:
+                    advance(arrivals[index].arrival_s)
+                    push(arrivals[index])
+                    index += 1
+                continue
+            state = min(candidates, key=lambda s: (s.free_at, s.node_id))
+            # Feed the waiting queue with everything that has arrived by this
+            # server's clock.
+            while index < len(arrivals) and arrivals[index].arrival_s <= state.free_at:
+                advance(arrivals[index].arrival_s)
+                push(arrivals[index])
+                index += 1
+            # --- admission: policy order, head-of-line, between iterations.
+            while len(policy) and len(state.batch) < self.max_batch:
+                head = policy.peek()
+                if state.batch and head.arrival_s > state.free_at:
+                    break  # not yet arrived from this server's perspective
+                profile = self.service_profile(
+                    head.workload, head.precision, server=state.node_id)
+                member = runtimes.get(head.request_id)
+                step_index = member.step_index if member is not None else 0
+                occupancy = sum(m.next_state_bytes for m in state.batch)
+                if state.batch and occupancy + profile.steps[step_index].state_bytes > budget:
+                    break  # no room in the KV budget; wait for completions
+                request = policy.pop()
+                admit_t = max(state.free_at, request.arrival_s)
+                # The popped request stays logically queued until admission.
+                advance(admit_t, extra_queued=1)
+                if not state.batch:
+                    state.free_at = admit_t
+                if member is None:
+                    member = _RunningRequest(request=request, profile=profile)
+                    runtimes[request.request_id] = member
+                else:
+                    # A preempted request may resume on a different server;
+                    # its step timings come from the server it runs on.
+                    member.profile = profile
+                if member.start_s is None:
+                    member.start_s = state.free_at
+                state.batch.append(member)
+            if not state.batch:
+                continue
+            # --- preemption: members' next steps grew past the budget.
+            if self.preemption:
+                while (len(state.batch) > 1
+                       and sum(m.next_state_bytes for m in state.batch) > budget):
+                    victim_request = policy.victim([m.request for m in state.batch])
+                    victim = next(
+                        m for m in state.batch
+                        if m.request.request_id == victim_request.request_id)
+                    state.batch.remove(victim)
+                    victim.preemptions += 1
+                    victim.restore_pending = True
+                    state.preemptions += 1
+                    advance(state.free_at)
+                    push(victim.request)
+            # --- one iteration: one step per member, (arrival, id) order,
+            # per-pipeline-stage local clocks.
+            iteration_start = state.free_at
+            members = sorted(
+                state.batch,
+                key=lambda m: (m.request.arrival_s, m.request.request_id))
+            stage_clock: Dict[int, float] = {}
+            for member in members:
+                step = member.profile.steps[member.step_index]
+                clock = stage_clock.get(step.stage, iteration_start)
+                switch_s = self._switch_seconds(state, member.request.tenant)
+                state.last_tenant = member.request.tenant
+                state.switch_s += switch_s
+                member.switch_s += switch_s
+                clock += switch_s
+                if member.restore_pending:
+                    clock += step.state_bytes / restore_bandwidth
+                    member.restore_pending = False
+                clock += step.seconds
+                stage_clock[step.stage] = clock
+                member.step_index += 1
+                if member.first_token_s is None:
+                    member.first_token_s = clock
+                if member.step_index == len(member.profile.steps):
+                    state.batch.remove(member)
+                    state.completed += 1
+                    del runtimes[member.request.request_id]
+                    tokens = member.profile.total_tokens
+                    completions.append({
+                        "tenant": member.request.tenant,
+                        "arrival_s": member.request.arrival_s,
+                        "start_s": member.start_s,
+                        "finish_s": clock,
+                        "switch_s": member.switch_s,
+                        "ttft_s": member.first_token_s - member.request.arrival_s,
+                        "tpot_s": ((clock - member.first_token_s) / tokens
+                                   if tokens else 0.0),
+                        "tokens": tokens,
+                        "ttft_slo_s": member.request.ttft_slo_s,
+                        "tpot_slo_s": member.request.tpot_slo_s,
+                        "preemptions": member.preemptions,
+                    })
+            state.free_at = max(stage_clock.values())
+            state.busy_s += state.free_at - iteration_start
+
+        makespan = max((entry["finish_s"] for entry in completions), default=0.0)
+        advance(makespan)
+        return self._build_report(trace, states, completions,
+                                  depth_area, depth_max, makespan)
+
+    def _build_report(
+        self,
+        trace: RequestTrace,
+        states: List[_NodeState],
+        completions: List[dict],
+        depth_area: float,
+        depth_max: int,
+        makespan: float,
+    ) -> ServeReport:
+        """Fold the loop's bookkeeping into the :class:`ServeReport`."""
         node_stats = [
             NodeStats(
                 node_id=state.node_id,
@@ -564,6 +929,7 @@ class ServeSimulator:
                 utilization=state.busy_s / makespan if makespan else 0.0,
                 tenant_switches=state.tenant_switches,
                 switch_s=state.switch_s,
+                preemptions=state.preemptions,
             )
             for state in states
         ]
@@ -575,6 +941,7 @@ class ServeSimulator:
             node_stats=node_stats,
             queue_depth_mean=depth_area / makespan if makespan else 0.0,
             queue_depth_max=depth_max,
+            batching=self.batching,
         )
 
     # ------------------------------------------------------- functional check

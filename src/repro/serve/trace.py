@@ -24,7 +24,7 @@ import json
 import random
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.gemm.precision import Precision
 from repro.workloads.registry import workload_names
@@ -47,7 +47,12 @@ class Request:
 
     ``workload`` names an entry of the workload registry (``resnet50``,
     ``bert``, ``gpt3``); ``arrival_s`` is the arrival time in seconds from
-    the start of the trace.
+    the start of the trace.  ``priority`` is the scheduling tier (larger is
+    more important; the priority/slo policies serve higher tiers first and
+    preempt lower ones), and ``ttft_slo_s``/``tpot_slo_s`` are the tenant's
+    latency deadlines — time to first token and time per output token —
+    against which the report scores SLO attainment and goodput (``None``
+    means the request carries no deadline and always counts as met).
     """
 
     request_id: int
@@ -55,10 +60,17 @@ class Request:
     workload: str
     arrival_s: float
     precision: Precision = Precision.FP32
+    priority: int = 0
+    ttft_slo_s: Optional[float] = None
+    tpot_slo_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError(f"arrival time cannot be negative, got {self.arrival_s}")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError(f"TTFT SLO must be positive, got {self.ttft_slo_s}")
+        if self.tpot_slo_s is not None and self.tpot_slo_s <= 0:
+            raise ValueError(f"TPOT SLO must be positive, got {self.tpot_slo_s}")
 
 
 @dataclass(frozen=True)
@@ -67,11 +79,18 @@ class TenantSpec:
 
     ``mix`` is a tuple of ``(workload name, weight)`` pairs; weights are
     normalised when sampling, so they only need to be positive.
+    ``priority`` and the TTFT/TPOT SLO targets are stamped onto every request
+    the tenant generates (see :class:`Request`): priority tiers order
+    admission and preemption under the priority/slo policies, and the
+    deadlines feed the report's SLO-attainment and goodput figures.
     """
 
     name: str
     rate_rps: float = 8.0
     mix: Tuple[Tuple[str, float], ...] = (("bert", 1.0),)
+    priority: int = 0
+    ttft_slo_s: Optional[float] = None
+    tpot_slo_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0:
@@ -80,10 +99,28 @@ class TenantSpec:
             raise ValueError(f"tenant {self.name!r}: workload mix cannot be empty")
         if any(weight <= 0 for _, weight in self.mix):
             raise ValueError(f"tenant {self.name!r}: mix weights must be positive")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError(f"tenant {self.name!r}: TTFT SLO must be positive")
+        if self.tpot_slo_s is not None and self.tpot_slo_s <= 0:
+            raise ValueError(f"tenant {self.name!r}: TPOT SLO must be positive")
 
     def with_rate(self, rate_rps: float) -> "TenantSpec":
         """Copy of this spec with a different mean arrival rate."""
         return replace(self, rate_rps=rate_rps)
+
+    def with_slo(
+        self,
+        ttft_slo_s: Optional[float] = None,
+        tpot_slo_s: Optional[float] = None,
+        priority: Optional[int] = None,
+    ) -> "TenantSpec":
+        """Copy of this spec with SLO deadlines (and optionally a priority tier)."""
+        return replace(
+            self,
+            ttft_slo_s=ttft_slo_s,
+            tpot_slo_s=tpot_slo_s,
+            priority=self.priority if priority is None else priority,
+        )
 
     def pick_workload(self, rng: random.Random) -> str:
         """Draw one workload name from the (normalised) mix."""
@@ -131,23 +168,45 @@ class RequestTrace:
         return sorted({request.workload for request in self.requests})
 
     def to_records(self) -> List[dict]:
-        """JSON-able arrival records (the :func:`replay_trace` input format)."""
-        return [
-            {
+        """JSON-able arrival records (the :func:`replay_trace` input format).
+
+        Priority and SLO fields are emitted only when set, so traces recorded
+        before those fields existed keep their byte-identical JSON form.
+        """
+        records = []
+        for request in self.requests:
+            record = {
                 "tenant": request.tenant,
                 "workload": request.workload,
                 "arrival_s": request.arrival_s,
                 "precision": request.precision.name.lower(),
             }
-            for request in self.requests
-        ]
+            if request.priority != 0:
+                record["priority"] = request.priority
+            if request.ttft_slo_s is not None:
+                record["ttft_slo_s"] = request.ttft_slo_s
+            if request.tpot_slo_s is not None:
+                record["tpot_slo_s"] = request.tpot_slo_s
+            records.append(record)
+        return records
 
     def save(self, path: Union[str, Path]) -> None:
         """Write the trace as a JSON record list that :func:`replay_trace` reads back."""
         Path(path).write_text(json.dumps(self.to_records(), indent=2) + "\n")
 
 
-def _finalize(name: str, pending: List[Tuple[float, str, int, str, Precision]],
+#: Per-request scheduling metadata carried through trace generation:
+#: ``(priority, ttft_slo_s, tpot_slo_s)``.
+_SLOFields = Tuple[int, Optional[float], Optional[float]]
+
+_NO_SLO: _SLOFields = (0, None, None)
+
+
+def _slo_fields(spec: TenantSpec) -> _SLOFields:
+    return (spec.priority, spec.ttft_slo_s, spec.tpot_slo_s)
+
+
+def _finalize(name: str, pending: List[Tuple[float, str, int, str, Precision, _SLOFields]],
               duration_s: float) -> RequestTrace:
     """Sort merged per-tenant arrivals and assign stable request ids.
 
@@ -157,8 +216,9 @@ def _finalize(name: str, pending: List[Tuple[float, str, int, str, Precision]],
     pending.sort(key=lambda item: (item[0], item[1], item[2]))
     requests = [
         Request(request_id=index, tenant=tenant, workload=workload,
-                arrival_s=arrival, precision=precision)
-        for index, (arrival, tenant, _seq, workload, precision) in enumerate(pending)
+                arrival_s=arrival, precision=precision,
+                priority=slo[0], ttft_slo_s=slo[1], tpot_slo_s=slo[2])
+        for index, (arrival, tenant, _seq, workload, precision, slo) in enumerate(pending)
     ]
     return RequestTrace(name=name, requests=requests, duration_s=duration_s)
 
@@ -229,15 +289,16 @@ def poisson_trace(
     """Independent Poisson arrivals per tenant over ``duration_s`` seconds."""
     if duration_s <= 0:
         raise ValueError(f"duration must be positive, got {duration_s}")
-    pending: List[Tuple[float, str, int, str, Precision]] = []
+    pending: List[Tuple[float, str, int, str, Precision, _SLOFields]] = []
     for spec in tenants:
         rng = random.Random(f"{seed}/poisson/{spec.name}")
+        slo = _slo_fields(spec)
         clock, sequence = 0.0, 0
         while True:
             clock += rng.expovariate(spec.rate_rps)
             if clock >= duration_s:
                 break
-            pending.append((clock, spec.name, sequence, spec.pick_workload(rng), precision))
+            pending.append((clock, spec.name, sequence, spec.pick_workload(rng), precision, slo))
             sequence += 1
     return _finalize(f"poisson-seed{seed}", pending, duration_s)
 
@@ -270,9 +331,10 @@ def bursty_trace(
         raise ValueError(f"burst fraction must be in (0, 1), got {burst_fraction}")
     if cycle_s <= 0:
         raise ValueError(f"cycle length must be positive, got {cycle_s}")
-    pending: List[Tuple[float, str, int, str, Precision]] = []
+    pending: List[Tuple[float, str, int, str, Precision, _SLOFields]] = []
     for spec in tenants:
         rng = random.Random(f"{seed}/bursty/{spec.name}")
+        slo = _slo_fields(spec)
         if burst_factor * burst_fraction >= 1.0:
             on_rate = spec.rate_rps / burst_fraction
             off_rate = 0.0
@@ -287,7 +349,8 @@ def bursty_trace(
             in_burst = (clock % cycle_s) / cycle_s < burst_fraction
             rate_now = on_rate if in_burst else off_rate
             if rng.random() * on_rate < rate_now:  # thinning acceptance
-                pending.append((clock, spec.name, sequence, spec.pick_workload(rng), precision))
+                pending.append((clock, spec.name, sequence, spec.pick_workload(rng),
+                                precision, slo))
                 sequence += 1
     return _finalize(f"bursty-seed{seed}", pending, duration_s)
 
@@ -296,8 +359,10 @@ def replay_trace(source: Union[str, Path, Iterable[dict]], name: str = "replay")
     """Rebuild a trace from a JSON file path or an iterable of arrival records.
 
     Each record needs ``tenant``, ``workload`` and ``arrival_s``;
-    ``precision`` is optional (default fp32).  Records are re-sorted and
-    re-numbered, so a hand-edited file stays valid.
+    ``precision``, ``priority`` and the ``ttft_slo_s``/``tpot_slo_s``
+    deadlines are optional (default fp32, priority 0, no deadlines), so
+    traces recorded before those fields existed replay unchanged.  Records
+    are re-sorted and re-numbered, so a hand-edited file stays valid.
     """
     if isinstance(source, (str, Path)):
         records = json.loads(Path(source).read_text())
@@ -306,15 +371,21 @@ def replay_trace(source: Union[str, Path, Iterable[dict]], name: str = "replay")
         records = list(source)
     if not isinstance(records, list):
         raise ValueError("replay source must be a JSON list of arrival records")
-    pending: List[Tuple[float, str, int, str, Precision]] = []
+    pending: List[Tuple[float, str, int, str, Precision, _SLOFields]] = []
     for sequence, record in enumerate(records):
         try:
             arrival = float(record["arrival_s"])
             tenant = str(record["tenant"])
             workload = str(record["workload"])
+            priority = int(record.get("priority", 0))
+            ttft_slo = record.get("ttft_slo_s")
+            tpot_slo = record.get("tpot_slo_s")
+            slo = (priority,
+                   None if ttft_slo is None else float(ttft_slo),
+                   None if tpot_slo is None else float(tpot_slo))
         except (KeyError, TypeError) as error:
             raise ValueError(f"replay record {sequence} is malformed: {record!r}") from error
         precision = Precision.from_string(record.get("precision", "fp32"))
-        pending.append((arrival, tenant, sequence, workload, precision))
+        pending.append((arrival, tenant, sequence, workload, precision, slo))
     duration = max((item[0] for item in pending), default=0.0)
     return _finalize(name, pending, duration)

@@ -57,6 +57,9 @@ class Phase:
     phases that model progress through time (decode blocks), and
     ``state_bytes`` is the resident state the phase needs beyond its
     streaming operands — the KV cache for decode, the expert weights for MoE.
+    ``tokens`` counts the output tokens the phase emits (the tokens of a
+    decode block); the serving simulator divides decode time by it to report
+    time-per-output-token, and it stays 0 for phases that emit none.
     """
 
     name: str
@@ -67,6 +70,7 @@ class Phase:
     repeat: int = 1
     step: int = 0
     state_bytes: int = 0
+    tokens: int = 0
 
     def __post_init__(self) -> None:
         if not self.shapes:
@@ -75,8 +79,8 @@ class Phase:
             raise ValueError(f"phase {self.name!r}: repeat must be positive")
         if self.non_gemm_flops < 0 or self.non_gemm_bytes < 0 or self.state_bytes < 0:
             raise ValueError(f"phase {self.name!r}: work and state cannot be negative")
-        if self.step < 0:
-            raise ValueError(f"phase {self.name!r}: step cannot be negative")
+        if self.step < 0 or self.tokens < 0:
+            raise ValueError(f"phase {self.name!r}: step and tokens cannot be negative")
 
     # ------------------------------------------------------------- per-execution
     @property
@@ -139,6 +143,7 @@ class Phase:
             "repeat": self.repeat,
             "step": self.step,
             "state_bytes": self.state_bytes,
+            "tokens": self.tokens,
         }
 
     @classmethod
@@ -163,6 +168,7 @@ class Phase:
                 repeat=int(record.get("repeat", 1)),
                 step=int(record.get("step", 0)),
                 state_bytes=int(record.get("state_bytes", 0)),
+                tokens=int(record.get("tokens", 0)),
             )
         except (KeyError, TypeError) as error:
             raise ValueError(f"malformed phase record: {record!r}") from error
@@ -215,6 +221,11 @@ class WorkloadGraph:
     def peak_state_bytes(self) -> int:
         """Largest resident state any phase needs (e.g. the final KV cache)."""
         return max(phase.state_bytes for phase in self.phases)
+
+    @property
+    def total_tokens(self) -> int:
+        """Output tokens the graph emits (0 for graphs without decode phases)."""
+        return sum(phase.tokens for phase in self.phases)
 
     @property
     def phase_names(self) -> List[str]:

@@ -159,6 +159,7 @@ def llm_decode_phases(
                 repeat=layers * (end - start),
                 step=step,
                 state_bytes=kv_cache_bytes(config, batch, kv_len, layers, precision),
+                tokens=batch * (end - start),
             )
         )
         start = end
