@@ -18,7 +18,11 @@ two against each other on a BERT-sized layer and writes the measurements to
 * ``serve_throughput`` — requests simulated per wall-clock second by the
   serving event loop (request-level and step-level continuous batching) on a
   seeded multi-tenant LLM trace, with the service-time estimation pre-warmed
-  so the number isolates the discrete-event loop itself.
+  so the number isolates the discrete-event loop itself;
+* ``serve_scale`` — the array serve engine vs the scalar reference on a
+  100k-request (quick) or million-request (full) trace, timing trace
+  generation separately and recording end-to-end ``requests_per_s`` at
+  scale, with the two engines' reports compared byte for byte.
 
 Every comparative benchmark re-verifies scalar/vector parity on the timed runs
 (identical stats and outputs) and reports it in the JSON, so a bench report
@@ -305,6 +309,56 @@ def bench_serve_throughput(quick: bool, repeat: int) -> Dict[str, object]:
     }
 
 
+def bench_serve_scale(quick: bool, repeat: int) -> Dict[str, object]:
+    """Serve-core throughput at scale: the array engine vs the scalar
+    reference on a 100k-request (quick) or million-request (full) trace.
+
+    The scenario pins FCFS on one node with a uniform pipeline interval, the
+    regime where the array engine collapses the event loop into its max-plus
+    closed form — the configuration the "million-request simulation" roadmap
+    item targets.  Trace generation is timed separately (the vectorised
+    Poisson sampler is part of the same refactor), service estimation is
+    pre-warmed off-clock as in :func:`bench_serve_throughput`, and both
+    engines run the identical trace with the reports compared byte for byte,
+    so the speedup doubles as a parity witness at scale.
+    """
+    from repro.core.config import maco_default_config
+    from repro.serve import ServeSimulator, TenantSpec, poisson_trace
+
+    variant = "llama-7b@layers=2,prompt=128,decode=32,block=8"
+    rate = 20_000.0
+    specs = [
+        TenantSpec(name="ingest", rate_rps=rate, mix=((f"{variant},prefill", 1.0),)),
+        TenantSpec(name="generate", rate_rps=rate, mix=((f"{variant},decode", 1.0),)),
+    ]
+    target = 100_000 if quick else 1_000_000
+    gen_start = time.perf_counter()
+    trace = poisson_trace(specs, duration_s=target / (2 * rate), seed=2025)
+    trace_gen_s = time.perf_counter() - gen_start
+    config = maco_default_config(num_nodes=1)
+
+    def run(engine: str):
+        simulator = ServeSimulator(config=config, scheduler="fcfs", engine=engine)
+        simulator._prepare_services(trace)  # warm the profile memo off-clock
+        start = time.perf_counter()
+        report = simulator.run(trace)
+        return time.perf_counter() - start, report
+
+    run("array")  # first-touch warm-up (page faults, numpy dispatch caches)
+    array_s, array_report = _best_of_with(repeat, lambda: run("array"))
+    scalar_s, scalar_report = _best_of_with(repeat, lambda: run("scalar"))
+    assert array_report.total_requests == len(trace)
+    return {
+        "requests": len(trace),
+        "trace_gen_s": trace_gen_s,
+        "scalar_s": scalar_s,
+        "vectorized_s": array_s,
+        "speedup": scalar_s / array_s,
+        "parity": array_report.to_json() == scalar_report.to_json(),
+        "requests_per_s": len(trace) / array_s,
+    }
+
+
 def _best_of_with(repeat: int, fn: Callable[[], Tuple[float, int]]) -> Tuple[float, int]:
     """Like :func:`_best_of` for functions returning ``(seconds, payload)``."""
     best = None
@@ -324,6 +378,7 @@ def run_benchmarks(quick: bool = False, repeat: int = 1) -> Dict[str, object]:
         "emulator": bench_emulator(quick, repeat),
         "functional_gemm": bench_functional_gemm(quick, repeat),
         "serve_throughput": bench_serve_throughput(quick, repeat),
+        "serve_scale": bench_serve_scale(quick, repeat),
     }
     return {"schema": SCHEMA_VERSION, "quick": quick, "repeat": repeat, "results": results}
 

@@ -465,7 +465,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             trace = poisson_trace(specs, duration, seed=args.seed, precision=precision)
 
-    report = simulator.run(trace)
+    report = simulator.run(trace, shards=args.shards)
     if args.functional_smoke:
         verified = simulator.functional_smoke(trace)
         print(f"functional smoke: {verified} GEMMs verified through the MPAIS async path",
@@ -653,8 +653,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
     serve.add_argument("--seed", type=int, default=0, help="trace generation seed")
     serve.add_argument("--jobs", type=int, default=None,
-                       help="worker processes for service-time estimation "
-                            "(the event loop is always serial; default: serial)")
+                       help="worker processes for service-time estimation and "
+                            "--shards simulation (default: serial)")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="split the trace at provable idle points into N shards "
+                            "simulated independently (request-level batching only; "
+                            "the merged report is byte-identical for every N and "
+                            "--jobs setting)")
     serve.add_argument("--format", default="table", choices=["table", "json"])
     serve.add_argument("--output", default=None,
                        help="write the report to this file instead of stdout")

@@ -24,7 +24,14 @@ Typical use (also exposed as ``python -m repro.cli serve``)::
     print(report.render())
 """
 
-from repro.serve.report import NodeStats, ServeReport, TenantStats, build_report
+from repro.serve.engine import ENGINE_NAMES
+from repro.serve.report import (
+    NodeStats,
+    ServeReport,
+    TenantStats,
+    build_report,
+    build_report_from_columns,
+)
 from repro.serve.scheduler import (
     SCHEDULER_NAMES,
     BatchingPolicy,
@@ -49,10 +56,13 @@ from repro.serve.trace import (
     Request,
     RequestTrace,
     TenantSpec,
+    TraceColumns,
     bursty_trace,
+    bursty_trace_scalar,
     default_tenants,
     llm_tenants,
     poisson_trace,
+    poisson_trace_scalar,
     replay_trace,
 )
 
@@ -60,10 +70,13 @@ __all__ = [
     "Request",
     "RequestTrace",
     "TenantSpec",
+    "TraceColumns",
     "default_tenants",
     "llm_tenants",
     "poisson_trace",
+    "poisson_trace_scalar",
     "bursty_trace",
+    "bursty_trace_scalar",
     "replay_trace",
     "BatchingPolicy",
     "Scheduler",
@@ -81,8 +94,10 @@ __all__ = [
     "estimate_service_seconds",
     "TENANT_SWITCH_FLUSH_CYCLES",
     "DEFAULT_KV_BUDGET_BYTES",
+    "ENGINE_NAMES",
     "TenantStats",
     "NodeStats",
     "ServeReport",
     "build_report",
+    "build_report_from_columns",
 ]

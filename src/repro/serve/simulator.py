@@ -37,8 +37,11 @@ prove the dispatch plumbing against the functional machine.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.batch import SweepRunner, _task_cache
 from repro.core.config import MACOConfig, maco_default_config
@@ -54,9 +57,24 @@ from repro.cpu.core import CPUCore
 from repro.cpu.process import Process
 from repro.gemm.precision import Precision
 from repro.mem.dram import DRAMModel
-from repro.serve.report import NodeStats, ServeReport, build_report
+from repro.serve.engine import (
+    ENGINE_NAMES,
+    NO_DEADLINE,
+    TICKS_PER_SECOND,
+    EngineTrace,
+    segment_bounds,
+    shard_plan,
+    shard_worker,
+    simulate_segments,
+)
+from repro.serve.report import (
+    NodeStats,
+    ServeReport,
+    build_report,
+    build_report_from_columns,
+)
 from repro.serve.scheduler import BatchingPolicy, scheduler_by_name
-from repro.serve.trace import Request, RequestTrace, TenantSpec
+from repro.serve.trace import Request, RequestTrace, TenantSpec, TraceColumns
 
 __all__ = [
     "TENANT_SWITCH_FLUSH_CYCLES",
@@ -337,7 +355,7 @@ def _service_worker(payload) -> ServiceProfile:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class _NodeState:
     """Mutable per-server bookkeeping for the event loops.
 
@@ -363,7 +381,7 @@ class _NodeState:
     batch: List["_RunningRequest"] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunningRequest:
     """A request's mutable progress through its steps (step mode only)."""
 
@@ -428,11 +446,15 @@ class ServeSimulator:
         max_batch: int = 8,
         kv_budget_bytes: Optional[float] = None,
         preemption: bool = True,
+        engine: str = "array",
     ) -> None:
         if system is not None and config is not None:
             raise ValueError("pass either a system or a config, not both")
         if batching not in ("request", "step"):
             raise ValueError(f"batching must be 'request' or 'step', got {batching!r}")
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"engine must be one of {', '.join(ENGINE_NAMES)}, got {engine!r}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
         if kv_budget_bytes is None:
@@ -443,6 +465,7 @@ class ServeSimulator:
             system = MACOSystem(config if config is not None else maco_default_config())
         self.system = system
         self.scheduler_name = scheduler
+        self.engine = engine
         self.batching = batching
         self.max_batch = max_batch
         self.kv_budget_bytes = kv_budget_bytes
@@ -557,8 +580,26 @@ class ServeSimulator:
             self._services[key] = profile
 
     def _prepare_services(self, trace: RequestTrace) -> None:
-        """Estimate every distinct (workload, precision) in the trace, possibly in parallel."""
-        self._ensure_services([(request.workload, request.precision) for request in trace])
+        """Estimate every distinct (workload, precision) in the trace, possibly in parallel.
+
+        Works off the columnar view — the distinct pairs fall out of one
+        ``np.unique`` over the interned id columns, so a million-request
+        trace costs one array pass, not a million attribute reads.
+        """
+        columns = trace.columns
+        if not len(columns):
+            return
+        width = max(len(columns.precisions), 1)
+        # The code space is tiny (workloads x precisions), so a bincount
+        # beats hashing a million-element array through np.unique.
+        counts = np.bincount(
+            columns.workload_id.astype(np.int64) * width + columns.precision_id,
+            minlength=len(columns.workloads) * width)
+        codes = np.flatnonzero(counts)
+        self._ensure_services([
+            (columns.workloads[int(code) // width], columns.precisions[int(code) % width])
+            for code in codes
+        ])
 
     def suggest_rates(
         self,
@@ -622,7 +663,7 @@ class ServeSimulator:
         return cycles / node.cpu.frequency_hz
 
     # ------------------------------------------------------------- event loop
-    def run(self, trace: RequestTrace) -> ServeReport:
+    def run(self, trace: RequestTrace, shards: Optional[int] = None) -> ServeReport:
         """Simulate the trace to completion and return the aggregated report.
 
         Dispatches on ``batching`` (see the class docstring).  A step-mode
@@ -632,104 +673,177 @@ class ServeSimulator:
         legacy report byte for byte (modulo the ``batching`` label).  All
         tie-breaks in both loops are deterministic, so identical traces yield
         bit-identical reports.
+
+        ``shards`` (request-level only) cuts the trace at provable full-idle
+        points and simulates the resulting segments independently, fanned out
+        over the runner's worker pool.  Each segment restarts with a cold
+        fleet — a tenant switch across a provable idle gap overlaps the idle
+        time, so it is absorbed rather than charged — and the cut points
+        depend only on the trace, so the report is byte-identical for every
+        shard count and every ``jobs`` setting.  ``shards=None`` (the
+        default) runs the trace unsegmented: the exact legacy continuous
+        semantics, where an idle gap keeps the last tenant resident.
         """
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         if self.batching == "request" or (self.max_batch == 1 and not self.preemption):
-            return self._run_request_level(trace)
+            return self._run_request_level(trace, shards)
+        if shards is not None:
+            raise ValueError(
+                "shards needs the request-level engine; the step-batching loop "
+                "is stateful across the whole trace (batching='request', or "
+                "max_batch=1 with preemption off)")
         return self._run_step_level(trace)
 
-    def _run_request_level(self, trace: RequestTrace) -> ServeReport:
-        """The legacy non-preemptive multi-server queue.
+    def _engine_trace(self, columns: TraceColumns) -> Tuple[EngineTrace, Optional[np.ndarray]]:
+        """Lower a columnar trace to the engine's tick arrays.
+
+        Returns the :class:`~repro.serve.engine.EngineTrace` plus the
+        canonical order (``(arrival tick, request id)`` lexsort) that maps
+        trace rows to engine ranks — ``None`` when the columns are already
+        canonical (every generator and replay emits them that way), so the
+        common case skips the sort and all the re-index gathers.  Service
+        times come from the memoised profiles as *ceiling* nanosecond ticks —
+        a request is never reported faster than its float estimate — batched
+        into one ``(pair, server)`` table so the event loops do array lookups
+        instead of dict probes.
+        """
+        arrival_all = np.rint(columns.arrival_s * TICKS_PER_SECOND).astype(np.int64)
+        canonical = bool(np.all(
+            (arrival_all[1:] > arrival_all[:-1])
+            | ((arrival_all[1:] == arrival_all[:-1])
+               & (columns.request_id[1:] > columns.request_id[:-1]))
+        )) if len(arrival_all) > 1 else True
+        if canonical:
+            order: Optional[np.ndarray] = None
+            arrival = arrival_all
+        else:
+            order = np.lexsort((columns.request_id, arrival_all))
+            arrival = arrival_all[order]
+        width = max(len(columns.precisions), 1)
+        codes_all = columns.workload_id.astype(np.int64) * width + columns.precision_id
+        if order is not None:
+            codes_all = codes_all[order]
+        # Equivalent to np.unique(codes_all, return_inverse=True) but via a
+        # bincount over the tiny (workload x precision) code space.
+        counts = np.bincount(codes_all, minlength=len(columns.workloads) * width)
+        codes = np.flatnonzero(counts)
+        remap = np.zeros(len(counts), np.int64)
+        remap[codes] = np.arange(len(codes), dtype=np.int64)
+        pair = remap[codes_all]
+        servers = self.num_servers
+        latency_table = np.empty((len(codes), servers), np.int64)
+        interval_table = np.empty((len(codes), servers), np.int64)
+        first_table = np.empty((len(codes), servers), np.int64)
+        tokens_table = np.empty(len(codes), np.int64)
+        for row, code in enumerate(codes.tolist()):
+            workload = columns.workloads[code // width]
+            precision = columns.precisions[code % width]
+            for server in range(servers):
+                profile = self.service_profile(workload, precision, server)
+                latency_table[row, server] = math.ceil(
+                    profile.latency_s * TICKS_PER_SECOND)
+                interval_table[row, server] = math.ceil(
+                    profile.interval_s * TICKS_PER_SECOND)
+                first_table[row, server] = math.ceil(
+                    profile.steps[0].seconds * TICKS_PER_SECOND)
+            tokens_table[row] = self.service_profile(workload, precision, 0).total_tokens
+        # The policy-key columns are pre-expanded only for the policies that
+        # consume them on every push; fcfs/rr never read them.
+        empty = np.empty(0, np.int64)
+        policy = self.scheduler_name
+        svc0 = latency_table[:, 0][pair] if policy == "sjf" else empty
+        if policy in ("priority", "slo"):
+            priority = (columns.priority if order is None
+                        else columns.priority[order]).astype(np.int64)
+        else:
+            priority = empty
+        if policy == "slo":
+            ttft_slo = columns.ttft_slo_s if order is None else columns.ttft_slo_s[order]
+            deadline = np.full(len(arrival), NO_DEADLINE, np.int64)
+            with_deadline = ~np.isnan(ttft_slo)
+            deadline[with_deadline] = arrival[with_deadline] + np.ceil(
+                ttft_slo[with_deadline] * TICKS_PER_SECOND).astype(np.int64)
+        else:
+            deadline = empty
+        node = self.system.node(self.groups[0][0])
+        switch_cycles = (node.cpu.processes.CONTEXT_SWITCH_CYCLES
+                        + TENANT_SWITCH_FLUSH_CYCLES)
+        return EngineTrace(
+            policy=policy,
+            num_servers=servers,
+            switch_ticks=math.ceil(
+                switch_cycles / node.cpu.frequency_hz * TICKS_PER_SECOND),
+            arrival=arrival,
+            tenant=columns.tenant_id if order is None else columns.tenant_id[order],
+            pair=pair.astype(np.int32),
+            latency_table=latency_table,
+            interval_table=interval_table,
+            first_table=first_table,
+            tokens_table=tokens_table,
+            svc0=svc0,
+            priority=priority,
+            deadline=deadline,
+            uniform_interval=bool(np.array_equal(latency_table, interval_table)),
+        ), order
+
+    def _run_request_level(
+        self, trace: RequestTrace, shards: Optional[int] = None
+    ) -> ServeReport:
+        """The non-preemptive multi-server queue, on the tick engines.
 
         Whenever the earliest-free server (a node, or a node group under
         parallelism) frees up, every request that has arrived by then is
         admitted to the policy queue, the policy pops one, and the server is
-        busy for the switch cost plus the service estimate.
+        busy for the switch cost plus the service estimate — see
+        :mod:`repro.serve.engine` for the array/scalar implementations and
+        the sharding contract.
         """
         self._prepare_services(trace)
-        scheduler: BatchingPolicy = scheduler_by_name(
-            self.scheduler_name,
-            estimator=lambda request: self.service_seconds(request.workload, request.precision),
+        # Reuse the scheduler registry's validation (exact same errors for a
+        # bad policy name); the engines carry their own queue implementations.
+        scheduler_by_name(self.scheduler_name, estimator=lambda request: 0.0)
+        columns = trace.columns
+        et, order = self._engine_trace(columns)
+        count = len(et)
+        if shards is None:
+            chunks = [[(0, count)]] if count else []
+        else:
+            chunks = shard_plan(segment_bounds(et), shards)
+        if len(chunks) > 1 and self.runner.jobs > 1:
+            results = self.runner.map(
+                shard_worker, [(et, chunk, self.engine) for chunk in chunks])
+        else:
+            results = [simulate_segments(et, chunk, self.engine) for chunk in chunks]
+        if len(results) == 1:
+            start, first, finish, accumulators = results[0]
+        else:
+            start = np.empty(count, np.int64)
+            first = np.empty(count, np.int64)
+            finish = np.empty(count, np.int64)
+            accumulators = np.zeros((self.num_servers, 4), np.int64)
+            for chunk, (seg_start, seg_first, seg_finish, seg_acc) in zip(chunks, results):
+                lo, hi = chunk[0][0], chunk[-1][1]
+                start[lo:hi] = seg_start
+                first[lo:hi] = seg_first
+                finish[lo:hi] = seg_finish
+                accumulators += seg_acc
+        return build_report_from_columns(
+            trace_name=trace.name,
+            scheduler_name=self.scheduler_name,
+            num_nodes=self.system.num_nodes,
+            tenant_names=columns.tenants,
+            tenant_id=columns.tenant_id if order is None else columns.tenant_id[order],
+            arrival_ticks=et.arrival,
+            start_ticks=start,
+            first_ticks=first,
+            finish_ticks=finish,
+            tokens=et.tokens_table[et.pair],
+            ttft_slo_s=columns.ttft_slo_s if order is None else columns.ttft_slo_s[order],
+            tpot_slo_s=columns.tpot_slo_s if order is None else columns.tpot_slo_s[order],
+            node_accumulators=accumulators,
+            batching=self.batching,
         )
-        states = [_NodeState(node_id=index) for index in range(self.num_servers)]
-        # Defensive sort: RequestTrace is a public dataclass, so a hand-built
-        # trace may not arrive ordered; the admission scan below requires it.
-        arrivals: List[Request] = sorted(
-            trace.requests, key=lambda request: (request.arrival_s, request.request_id))
-        completions: List[dict] = []
-        index = 0
-        # Time-weighted queue-depth integral, sampled at every event.
-        last_event_t = 0.0
-        depth_area = 0.0
-        depth_max = 0
-
-        def advance(now: float, extra_queued: int = 0) -> None:
-            nonlocal last_event_t, depth_area
-            if now > last_event_t:
-                depth_area += (len(scheduler) + extra_queued) * (now - last_event_t)
-                last_event_t = now
-
-        while index < len(arrivals) or len(scheduler):
-            state = min(states, key=lambda s: (s.free_at, s.node_id))
-            # Admit everything that has arrived by the time this node frees.
-            while index < len(arrivals) and arrivals[index].arrival_s <= state.free_at:
-                advance(arrivals[index].arrival_s)
-                scheduler.push(arrivals[index])
-                depth_max = max(depth_max, len(scheduler))
-                index += 1
-            if not len(scheduler):
-                # Idle fleet: jump to the next arrival instant (admit ties too).
-                now = arrivals[index].arrival_s
-                while index < len(arrivals) and arrivals[index].arrival_s <= now:
-                    advance(arrivals[index].arrival_s)
-                    scheduler.push(arrivals[index])
-                    depth_max = max(depth_max, len(scheduler))
-                    index += 1
-                continue
-            request = scheduler.pop()
-            start = max(state.free_at, request.arrival_s)
-            # A tenant change cannot enter a draining pipeline: the previous
-            # tenant's in-flight requests must leave the stages before the
-            # ASID switch.  (Outside pipeline parallelism drain_at == free_at,
-            # so this is a no-op.)
-            if state.last_tenant is not None and state.last_tenant != request.tenant:
-                start = max(start, state.drain_at)
-            # The popped request stays logically queued until its start time,
-            # so count it in the depth integral over (last event, start).
-            advance(start, extra_queued=1)
-            switch_s = self._switch_seconds(state, request.tenant)
-            profile = self.service_profile(
-                request.workload, request.precision, server=state.node_id)
-            dispatch = start + switch_s
-            finish = dispatch + profile.latency_s
-            first_token = dispatch + profile.steps[0].seconds
-            tokens = profile.total_tokens
-            # The server admits its next request one pipeline interval after
-            # this one entered; for non-pipelined servers the interval is the
-            # full service time and free_at lands exactly on finish.
-            state.free_at = dispatch + profile.interval_s
-            state.drain_at = finish
-            state.busy_s += switch_s + profile.interval_s
-            state.switch_s += switch_s
-            state.completed += 1
-            state.last_tenant = request.tenant
-            completions.append({
-                "tenant": request.tenant,
-                "arrival_s": request.arrival_s,
-                "start_s": start,
-                "finish_s": finish,
-                "switch_s": switch_s,
-                "ttft_s": first_token - request.arrival_s,
-                "tpot_s": (finish - first_token) / tokens if tokens else 0.0,
-                "tokens": tokens,
-                "ttft_slo_s": request.ttft_slo_s,
-                "tpot_slo_s": request.tpot_slo_s,
-                "preemptions": 0,
-            })
-
-        makespan = max((entry["finish_s"] for entry in completions), default=0.0)
-        advance(makespan)
-        return self._build_report(trace, states, completions,
-                                  depth_area, depth_max, makespan)
 
     def _run_step_level(self, trace: RequestTrace) -> ServeReport:
         """Iteration-level continuous batching with KV paging and preemption.

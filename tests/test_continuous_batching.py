@@ -148,14 +148,17 @@ class TestDegenerateParity:
     def test_general_step_loop_at_batch_one_matches_legacy_closely(self):
         # With preemption on, batch 1 runs the real iteration loop; an
         # uncontended budget never evicts, so it must agree with the legacy
-        # dispatcher up to floating-point association.
+        # dispatcher up to quantization: the request-level engine now runs
+        # on integer nanosecond ticks, so per-request times agree with the
+        # float step loop only to ~1 ns, which compounds to ~1e-8 relative
+        # on second-scale latencies.
         trace = llm_trace()
         legacy = ServeSimulator(config=maco_default_config(num_nodes=4)).run(trace)
         step = step_simulator(max_batch=1, preemption=True).run(trace)
         assert step.preemptions == 0
-        assert step.throughput_rps == pytest.approx(legacy.throughput_rps, rel=1e-9)
-        assert step.latency_p95_s == pytest.approx(legacy.latency_p95_s, rel=1e-9)
-        assert step.latency_p50_s == pytest.approx(legacy.latency_p50_s, rel=1e-9)
+        assert step.throughput_rps == pytest.approx(legacy.throughput_rps, rel=1e-7)
+        assert step.latency_p95_s == pytest.approx(legacy.latency_p95_s, rel=1e-7)
+        assert step.latency_p50_s == pytest.approx(legacy.latency_p50_s, rel=1e-7)
 
 
 class TestStepExecution:
