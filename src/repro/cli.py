@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve --trace poisson --tenants 3 --seed 7 --tenant-mix llm
     python -m repro.cli serve --tenant-mix llm --batching step --max-batch 8 \
         --scheduler slo --slo 0.5:0.1
+    python -m repro.cli conformance run        # golden corpus vs tests/golden/
+    python -m repro.cli conformance fuzz --cases 200 --seed 0
 
 The CLI is a thin wrapper over the same APIs the benchmarks use, so its output
 matches the rows recorded in EXPERIMENTS.md.  The sweep-shaped commands
@@ -480,6 +482,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.conformance import (
+        GoldenCase,
+        RegenRefused,
+        fuzz as run_fuzz,
+        replay as replay_fuzz,
+        run_case,
+        run_corpus,
+    )
+
+    def _write_failures(specs: List[dict]) -> None:
+        if args.failures and specs:
+            Path(args.failures).write_text(
+                json.dumps({"failures": specs}, indent=2) + "\n")
+            print(f"wrote {len(specs)} failure spec(s) to {args.failures}",
+                  file=sys.stderr)
+
+    if args.action == "run":
+        golden_dir = Path(args.golden_dir) if args.golden_dir else None
+        try:
+            report = run_corpus(golden_dir=golden_dir, regen=args.regen,
+                                allow_dirty=args.allow_dirty)
+        except RegenRefused as error:
+            print(f"{args.command}: error: {error}", file=sys.stderr)
+            return 2
+        rows = report.rows()
+        print(render_table(rows[0], rows[1:], title="golden conformance corpus"))
+        if report.regenerated:
+            print(f"regenerated {len(report.regenerated)} golden file(s)")
+        _write_failures(report.failure_specs())
+        if not report.passed:
+            for spec in report.failure_specs():
+                print(json.dumps(spec), file=sys.stderr)
+            print(f"{len(report.failures)} of {len(report.results)} golden "
+                  "case(s) failed", file=sys.stderr)
+            return 1
+        print(f"all {len(report.results)} golden case(s) passed")
+        return 0
+
+    if args.action == "fuzz":
+        report = run_fuzz(cases=args.cases, seed=args.seed,
+                          kinds=args.kind or None)
+        counts = ", ".join(f"{kind}={count}"
+                           for kind, count in sorted(report.kind_counts().items()))
+        print(f"fuzzed {report.cases} scenario(s) with seed {report.seed}: {counts}")
+        _write_failures(report.failure_specs())
+        if not report.passed:
+            for spec in report.failure_specs():
+                print(json.dumps(spec), file=sys.stderr)
+            print(f"{len(report.failures)} scenario(s) violated an invariant",
+                  file=sys.stderr)
+            return 1
+        print("all scenarios passed")
+        return 0
+
+    # replay: re-run the failure spec(s) recorded by `run`/`fuzz --failures`.
+    text = Path(args.spec).read_text()
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"replay spec {args.spec} is not valid JSON: {error}")
+    specs = record["failures"] if isinstance(record, dict) and "failures" in record \
+        else [record]
+    failed = 0
+    for spec in specs:
+        if not isinstance(spec, dict) or "type" not in spec:
+            raise ValueError(
+                f"replay spec {args.spec}: each record needs a 'type' of "
+                "'golden' or 'fuzz'")
+        if spec["type"] == "golden":
+            result = run_case(GoldenCase.from_dict(spec["case"]))
+            name = result.case.name
+            message = None if result.passed else result.message
+        elif spec["type"] == "fuzz":
+            message = replay_fuzz(spec)
+            name = f"{spec.get('kind')}[{spec.get('index', '?')}]"
+        else:
+            raise ValueError(f"unknown replay spec type {spec['type']!r}")
+        if message is None:
+            print(f"{name}: PASS")
+        else:
+            print(f"{name}: FAIL — {message}")
+            failed += 1
+    return 1 if failed else 0
+
+
 def _cmd_table4(args: argparse.Namespace) -> int:
     comparison = compare_cpu_mmae()
     print(render_table(
@@ -666,6 +756,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--functional-smoke", action="store_true",
                        help="also verify a few small GEMMs through the MPAIS async path")
     serve.set_defaults(handler=_cmd_serve)
+
+    conformance = subparsers.add_parser(
+        "conformance",
+        help="golden-model conformance corpus and property-based scenario fuzzing")
+    conformance_actions = conformance.add_subparsers(dest="action", required=True)
+
+    conf_run = conformance_actions.add_parser(
+        "run", help="execute the golden corpus against tests/golden/")
+    conf_run.add_argument("--regen", action="store_true",
+                          help="rewrite the committed golden files from the current "
+                               "golden models (guarded: refuses on a dirty corpus)")
+    conf_run.add_argument("--allow-dirty", action="store_true",
+                          help="let --regen overwrite uncommitted golden files "
+                               "(refused in CI)")
+    conf_run.add_argument("--golden-dir", default=None,
+                          help="corpus directory (default: the committed tests/golden/)")
+    conf_run.add_argument("--failures", default=None, metavar="FILE",
+                          help="write failing case specs to FILE as replayable JSON")
+    conf_run.set_defaults(handler=_cmd_conformance)
+
+    conf_fuzz = conformance_actions.add_parser(
+        "fuzz", help="property-based scenario fuzzing over the exact invariants")
+    conf_fuzz.add_argument("--cases", type=int, default=100,
+                           help="number of scenarios to sample")
+    conf_fuzz.add_argument("--seed", type=int, default=0,
+                           help="run seed; (seed, index) fully determines scenario i")
+    conf_fuzz.add_argument("--kind", action="append", default=None,
+                           help="restrict to a scenario kind (repeatable)")
+    conf_fuzz.add_argument("--failures", default=None, metavar="FILE",
+                           help="write violated scenario specs to FILE as replayable JSON")
+    conf_fuzz.set_defaults(handler=_cmd_conformance)
+
+    conf_replay = conformance_actions.add_parser(
+        "replay", help="re-run a recorded failure spec file")
+    conf_replay.add_argument("spec", help="JSON spec from --failures (or a single record)")
+    conf_replay.set_defaults(handler=_cmd_conformance)
     return parser
 
 

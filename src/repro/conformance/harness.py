@@ -1,0 +1,376 @@
+"""Execution harness for the golden conformance corpus.
+
+The harness turns each declarative :class:`GoldenCase` into three arrays —
+the functional fidelity's output, the independent NumPy golden recomputed at
+check time, and the fingerprint committed in ``tests/golden/<name>.json`` —
+and verifies two things:
+
+1. **Tolerance**: ``|functional - golden| <= atol + rtol * |golden|``
+   element-wise.  Failures name the kernel, the seed and the worst element
+   (its index, both values, the diff and the allowance) so a mutation is
+   diagnosable from the message alone, and carry a replayable JSON spec.
+2. **Pinning**: the recomputed golden's summary statistics (Frobenius norm,
+   mean, and a seed-independent sample of elements) match the committed
+   fingerprint to 1e-9 relative.  This catches silent changes to the golden
+   model itself; the committed SHA-256 digest is informational (BLAS builds
+   may legally reassociate) and only reported, never enforced.
+
+``--regen`` rewrites the committed files and is guarded: it refuses to run
+with uncommitted changes under ``tests/golden/`` unless ``allow_dirty`` is
+set, and ``allow_dirty`` itself is refused in CI (the ``CI`` environment
+variable) so the corpus can only be regenerated deliberately on a developer
+checkout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.conformance.golden import (
+    GoldenCase,
+    GoldenMismatch,
+    default_corpus,
+    kernel_for,
+)
+
+__all__ = [
+    "DEFAULT_GOLDEN_DIR",
+    "CaseResult",
+    "ConformanceReport",
+    "GoldenFileError",
+    "RegenRefused",
+    "case_fingerprint",
+    "compare_arrays",
+    "load_golden_file",
+    "run_case",
+    "run_corpus",
+    "write_golden_file",
+]
+
+#: Committed corpus location, relative to the repository root.
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+_FINGERPRINT_RTOL = 1e-9
+_SAMPLE_COUNT = 8
+
+
+class GoldenFileError(ValueError):
+    """A committed golden file is missing, unreadable or malformed."""
+
+
+class RegenRefused(RuntimeError):
+    """``--regen`` was blocked by the working-tree guard."""
+
+
+@dataclass(frozen=True)
+class ElementDiff:
+    """The worst-offending element of a tolerance comparison."""
+
+    index: Tuple[int, ...]
+    functional: float
+    golden: float
+
+    @property
+    def abs_diff(self) -> float:
+        return abs(self.functional - self.golden)
+
+    def describe(self, rtol: float, atol: float) -> str:
+        allowed = atol + rtol * abs(self.golden)
+        return (
+            f"worst element at {list(self.index)}: functional={self.functional!r} "
+            f"golden={self.golden!r} |diff|={self.abs_diff:.6e} allowed={allowed:.6e}"
+        )
+
+
+def compare_arrays(
+    functional: np.ndarray, golden: np.ndarray, rtol: float, atol: float
+) -> Optional[ElementDiff]:
+    """The worst element violating ``atol + rtol*|golden|``, or ``None``.
+
+    When every element is inside tolerance returns ``None``; otherwise the
+    element whose excess over its own allowance is largest, which is the one
+    worth printing (a large value with a large allowance may be fine while a
+    tiny absolute diff on a near-zero golden is the real offender).
+    """
+    if functional.shape != golden.shape:
+        raise GoldenMismatch(
+            f"shape mismatch: functional {functional.shape} vs golden {golden.shape}"
+        )
+    diff = np.abs(functional.astype(np.float64) - golden.astype(np.float64))
+    allowed = atol + rtol * np.abs(golden.astype(np.float64))
+    excess = diff - allowed
+    worst_flat = int(np.argmax(excess))
+    if excess.flat[worst_flat] <= 0 and bool(np.all(np.isfinite(diff))):
+        return None
+    if not np.all(np.isfinite(diff)):
+        # Prefer reporting a NaN/inf element over a merely-large one.
+        worst_flat = int(np.argmax(~np.isfinite(diff.flat)))
+    index = np.unravel_index(worst_flat, golden.shape)
+    return ElementDiff(
+        index=tuple(int(i) for i in index),
+        functional=float(functional.flat[worst_flat]),
+        golden=float(golden.flat[worst_flat]),
+    )
+
+
+def _sample_indices(shape: Tuple[int, ...]) -> List[int]:
+    """Deterministic, shape-derived flat indices spread across the array."""
+    total = int(np.prod(shape))
+    count = min(_SAMPLE_COUNT, total)
+    return [(i * total) // count for i in range(count)]
+
+
+def case_fingerprint(array: np.ndarray) -> dict:
+    """Summary statistics pinning a golden array in the committed file."""
+    contiguous = np.ascontiguousarray(array, dtype=np.float64)
+    samples = [float(contiguous.flat[i]) for i in _sample_indices(contiguous.shape)]
+    return {
+        "shape": list(contiguous.shape),
+        "dtype": "float64",
+        "sha256": hashlib.sha256(contiguous.tobytes()).hexdigest(),
+        "frobenius": float(np.linalg.norm(contiguous)),
+        "mean": float(contiguous.mean()),
+        "samples": samples,
+    }
+
+
+def _fingerprint_drift(committed: dict, recomputed: dict) -> Optional[str]:
+    """First pinned statistic that drifted beyond 1e-9 relative, or ``None``."""
+    if list(committed.get("shape", [])) != recomputed["shape"]:
+        return f"shape changed from {committed.get('shape')} to {recomputed['shape']}"
+    scalars = [("frobenius", committed.get("frobenius"), recomputed["frobenius"]),
+               ("mean", committed.get("mean"), recomputed["mean"])]
+    for i, (old, new) in enumerate(
+        zip(committed.get("samples", []), recomputed["samples"])
+    ):
+        scalars.append((f"samples[{i}]", old, new))
+    for label, old, new in scalars:
+        if old is None:
+            return f"committed fingerprint is missing {label!r}"
+        tolerance = _FINGERPRINT_RTOL * max(abs(float(old)), abs(float(new)), 1.0)
+        if abs(float(old) - float(new)) > tolerance:
+            return (
+                f"{label} drifted from {float(old)!r} to {float(new)!r} "
+                f"(tolerance {tolerance:.3e})"
+            )
+    return None
+
+
+def load_golden_file(path: Path) -> Tuple[GoldenCase, dict]:
+    """Read a committed golden file, raising :class:`GoldenFileError` on rot."""
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise GoldenFileError(f"cannot read golden file {path}: {error}") from error
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise GoldenFileError(f"golden file {path} is not valid JSON: {error}") from error
+    if not isinstance(record, dict) or "case" not in record or "golden" not in record:
+        raise GoldenFileError(
+            f"golden file {path} must be an object with 'case' and 'golden' keys"
+        )
+    try:
+        case = GoldenCase.from_dict(record["case"])
+    except ValueError as error:
+        raise GoldenFileError(f"golden file {path}: {error}") from error
+    golden = record["golden"]
+    if not isinstance(golden, dict):
+        raise GoldenFileError(f"golden file {path}: 'golden' must be a fingerprint object")
+    return case, golden
+
+
+def write_golden_file(path: Path, case: GoldenCase, fingerprint: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"case": case.to_dict(), "golden": fingerprint}
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one golden case run."""
+
+    case: GoldenCase
+    status: str  # "pass" | "fail" | "error"
+    message: str = ""
+    max_abs_diff: float = 0.0
+    worst: Optional[ElementDiff] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "pass"
+
+    def repro_spec(self) -> dict:
+        """A replayable JSON blob reproducing this case in isolation."""
+        return {
+            "type": "golden",
+            "case": self.case.to_dict(),
+            "status": self.status,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate outcome of a corpus run."""
+
+    results: List[CaseResult] = field(default_factory=list)
+    regenerated: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [result for result in self.results if not result.passed]
+
+    def failure_specs(self) -> List[dict]:
+        return [result.repro_spec() for result in self.failures]
+
+    def rows(self) -> List[List[str]]:
+        rows = [["case", "kernel", "seed", "status", "max|diff|", "detail"]]
+        for result in self.results:
+            rows.append([
+                result.case.name,
+                result.case.kernel,
+                str(result.case.seed),
+                result.status.upper(),
+                f"{result.max_abs_diff:.3e}" if result.status != "error" else "-",
+                result.message if not result.passed else "",
+            ])
+        return rows
+
+
+def run_case(case: GoldenCase, committed: Optional[dict] = None) -> CaseResult:
+    """Execute one golden case against the functional fidelity."""
+    kernel = kernel_for(case)
+    rng = np.random.default_rng(case.seed)
+    try:
+        inputs = kernel.generate_inputs(case, rng)
+        functional = np.asarray(kernel.run_functional(case, inputs), dtype=np.float64)
+        golden = np.asarray(kernel.compute_golden(case, inputs), dtype=np.float64)
+    except GoldenMismatch as error:
+        return CaseResult(case=case, status="fail", message=str(error))
+    except Exception as error:  # kernel bug or malformed spec
+        return CaseResult(
+            case=case, status="error",
+            message=f"kernel {case.kernel!r} seed {case.seed}: {type(error).__name__}: {error}",
+        )
+    max_abs = float(np.max(np.abs(functional - golden))) if functional.size else 0.0
+    worst = compare_arrays(functional, golden, case.rtol, case.atol)
+    if worst is not None:
+        return CaseResult(
+            case=case,
+            status="fail",
+            max_abs_diff=max_abs,
+            worst=worst,
+            message=(
+                f"kernel {case.kernel!r} seed {case.seed} out of tolerance "
+                f"(rtol={case.rtol:g}, atol={case.atol:g}); "
+                + worst.describe(case.rtol, case.atol)
+            ),
+        )
+    if committed is not None:
+        drift = _fingerprint_drift(committed, case_fingerprint(golden))
+        if drift is not None:
+            return CaseResult(
+                case=case, status="fail", max_abs_diff=max_abs,
+                message=(
+                    f"kernel {case.kernel!r} seed {case.seed}: committed golden "
+                    f"fingerprint drifted — {drift}; rerun with --regen if intended"
+                ),
+            )
+    return CaseResult(case=case, status="pass", max_abs_diff=max_abs)
+
+
+def _working_tree_dirty(golden_dir: Path) -> Optional[bool]:
+    """Whether ``golden_dir`` has uncommitted changes; ``None`` outside git."""
+    try:
+        probe = subprocess.run(
+            ["git", "-C", str(golden_dir.parent), "rev-parse", "--is-inside-work-tree"],
+            capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if probe.returncode != 0:
+        return None
+    status = subprocess.run(
+        ["git", "-C", str(golden_dir.parent), "status", "--porcelain", "--", str(golden_dir)],
+        capture_output=True, text=True, timeout=30,
+    )
+    if status.returncode != 0:
+        return None
+    return bool(status.stdout.strip())
+
+
+def _check_regen_allowed(golden_dir: Path, allow_dirty: bool, env=os.environ) -> None:
+    if allow_dirty and env.get("CI"):
+        raise RegenRefused(
+            "--allow-dirty is refused in CI: regenerating goldens over "
+            "uncommitted changes would silently bless whatever the build produced"
+        )
+    dirty = _working_tree_dirty(golden_dir)
+    if dirty and not allow_dirty:
+        raise RegenRefused(
+            f"refusing --regen: {golden_dir} has uncommitted changes; commit or "
+            "stash them first (or pass --allow-dirty on a developer checkout)"
+        )
+
+
+def run_corpus(
+    golden_dir: Optional[Path] = None,
+    cases: Optional[Sequence[GoldenCase]] = None,
+    regen: bool = False,
+    allow_dirty: bool = False,
+) -> ConformanceReport:
+    """Run the corpus against committed golden files (or regenerate them).
+
+    In check mode (the default) each case must have a committed file whose
+    embedded spec matches the in-code corpus exactly; a missing or stale file
+    is a failure prompting ``--regen``.  In regen mode the files are written
+    from the recomputed goldens after the working-tree guard passes.
+    """
+    golden_dir = Path(golden_dir) if golden_dir is not None else DEFAULT_GOLDEN_DIR
+    corpus = list(cases) if cases is not None else default_corpus()
+    report = ConformanceReport()
+    if regen:
+        _check_regen_allowed(golden_dir, allow_dirty)
+    for case in corpus:
+        path = golden_dir / f"{case.name}.json"
+        committed: Optional[dict] = None
+        if not regen:
+            try:
+                committed_case, committed = load_golden_file(path)
+            except GoldenFileError as error:
+                report.results.append(
+                    CaseResult(case=case, status="fail", message=f"{error}; run --regen")
+                )
+                continue
+            if committed_case != case:
+                report.results.append(CaseResult(
+                    case=case, status="fail",
+                    message=(
+                        f"committed spec in {path.name} disagrees with the in-code "
+                        "corpus; run --regen to refresh it"
+                    ),
+                ))
+                continue
+        result = run_case(case, committed=committed)
+        if regen and result.passed:
+            kernel = kernel_for(case)
+            rng = np.random.default_rng(case.seed)
+            inputs = kernel.generate_inputs(case, rng)
+            golden = np.asarray(kernel.compute_golden(case, inputs), dtype=np.float64)
+            write_golden_file(path, case, case_fingerprint(golden))
+            report.regenerated.append(path.name)
+        report.results.append(result)
+    return report

@@ -19,7 +19,13 @@ from repro.gemm.workloads import (
     hpl_like_workloads,
 )
 from repro.gemm.tiling import TileConfig, Tile, TwoLevelTiling, tile_ranges
-from repro.gemm.reference import reference_gemm, blocked_gemm, tiled_gemm_trace
+from repro.gemm.reference import (
+    reference_gemm,
+    blocked_gemm,
+    conv2d_reference,
+    im2col_patches,
+    tiled_gemm_trace,
+)
 
 __all__ = [
     "Precision",
@@ -36,5 +42,7 @@ __all__ = [
     "tile_ranges",
     "reference_gemm",
     "blocked_gemm",
+    "conv2d_reference",
+    "im2col_patches",
     "tiled_gemm_trace",
 ]

@@ -134,6 +134,58 @@ class SystolicArray:
         self.total_cycles += cycles
         return TileComputeResult(output=result.astype(acc_dtype), cycles=cycles, macs=macs)
 
+    def compute_gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: Optional[np.ndarray] = None,
+        precision: Precision = Precision.FP64,
+        level1=None,
+        level2=None,
+    ) -> TileComputeResult:
+        """Compute a full GEMM through the two-level MACO tile schedule.
+
+        The operands are blocked with :class:`~repro.gemm.tiling.TwoLevelTiling`
+        and every second-level tile runs through :meth:`compute_tile` in the
+        exact visit order ``tiled_gemm_trace`` records, accumulating into the
+        output in the mode's accumulator precision.  This is the functional
+        twin of the MMAE controller's tiled execution, small enough for the
+        conformance harness to check against a plain NumPy golden.
+        """
+        from repro.gemm.tiling import PAPER_LEVEL1, PAPER_LEVEL2, TwoLevelTiling
+        from repro.gemm.workloads import GEMMShape
+
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("operands must be 2-D")
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+        level1 = PAPER_LEVEL1 if level1 is None else level1
+        level2 = PAPER_LEVEL2 if level2 is None else level2
+        tiling = TwoLevelTiling(GEMMShape(m, n, k, precision), level1, level2)
+        acc_dtype = precision.accumulate_dtype
+        out = np.zeros((m, n), dtype=acc_dtype)
+        if c is not None:
+            if c.shape != (m, n):
+                raise ValueError(f"C has shape {c.shape}, expected {(m, n)}")
+            out += c.astype(acc_dtype)
+        cycles = 0
+        macs = 0
+        for tile1 in tiling.level1_tiles():
+            for tile in tiling.level2_tiles(tile1):
+                result = self.compute_tile(
+                    a[tile.row_start : tile.row_end, tile.k_start : tile.k_end],
+                    b[tile.k_start : tile.k_end, tile.col_start : tile.col_end],
+                    precision=precision,
+                )
+                out[tile.row_start : tile.row_end, tile.col_start : tile.col_end] += (
+                    result.output
+                )
+                cycles += result.cycles
+                macs += result.macs
+        return TileComputeResult(output=out, cycles=cycles, macs=macs)
+
 
 class SystolicArrayEmulator:
     """Cycle-stepped emulation of the input-stationary wavefront.

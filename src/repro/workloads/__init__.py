@@ -28,7 +28,12 @@ from repro.workloads.llm import (
     llm_prefill_phase,
     llm_workload_graph,
 )
-from repro.workloads.moe import MoEConfig, moe_workload_graph
+from repro.workloads.moe import (
+    MoEConfig,
+    balanced_routed_tokens,
+    moe_workload_graph,
+    route_topk,
+)
 from repro.workloads.registry import (
     WorkloadVariant,
     catalog_entry,
@@ -67,7 +72,9 @@ __all__ = [
     "llm_prefill_phase",
     "llm_workload_graph",
     "MoEConfig",
+    "balanced_routed_tokens",
     "moe_workload_graph",
+    "route_topk",
     "WorkloadVariant",
     "catalog_entry",
     "describe_workload",

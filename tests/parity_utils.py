@@ -1,0 +1,68 @@
+"""Shared parity-test factories (imported by conftest.py and test modules).
+
+These are the consolidated versions of what used to be ad-hoc module-level
+helpers duplicated across ``test_serve_vectorized.py``, ``test_parallel.py``
+and ``test_vectorized_parity.py`` — and the same constructions the
+conformance fuzz layer (:mod:`repro.conformance.fuzz`) samples from.  They
+live in their own module (not ``conftest.py``) because the benchmarks
+directory has a ``conftest.py`` of its own, which makes a bare
+``import conftest`` ambiguous in a whole-repo pytest run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import maco_default_config
+
+
+def make_mixed_tenants(count=3, rate=4.0):
+    """Tenants exercising every scheduler-relevant field: distinct rates and
+    mixes, priority tiers for the priority policy, and TTFT/TPOT deadlines
+    for the SLO policy's EDF ordering."""
+    from repro.serve import default_tenants
+
+    specs = [spec.with_rate(rate) for spec in default_tenants(count)]
+    return [
+        spec.with_slo(ttft_slo_s=0.5 + 0.25 * index,
+                      tpot_slo_s=0.05,
+                      priority=index % 2)
+        for index, spec in enumerate(specs)
+    ]
+
+
+def make_serve_trace(seed=7, duration=20.0, count=3, rate=4.0):
+    """The canonical mixed-tenant Poisson trace the parity suites replay."""
+    from repro.serve import poisson_trace
+
+    return poisson_trace(make_mixed_tenants(count, rate), duration_s=duration, seed=seed)
+
+
+def make_serve_simulator(engine, scheduler="fcfs", batching="request", **kwargs):
+    """A 4-node serve simulator; ``batching='step'`` selects the degenerate
+    step mode (``max_batch=1``, no preemption) that routes through the
+    request-level engine — the mode where the scalar/array choice applies."""
+    from repro.serve import ServeSimulator
+
+    defaults = dict(config=maco_default_config(num_nodes=4))
+    if batching == "step":
+        defaults.update(batching="step", max_batch=1, preemption=False)
+    defaults.update(kwargs)
+    return ServeSimulator(scheduler=scheduler, engine=engine, **defaults)
+
+
+def run_emulator_pair(rows, cols, tr, seed):
+    """Run one random block through the scalar and vectorized systolic
+    emulators and return ``(scalar_result, vector_result)`` for bit-identity
+    assertions."""
+    from repro.mmae.systolic_array import (
+        SystolicArrayEmulator,
+        VectorizedSystolicArrayEmulator,
+    )
+
+    gen = np.random.default_rng(seed)
+    a_block = gen.standard_normal((tr, rows))
+    b_block = gen.standard_normal((rows, cols))
+    scalar = SystolicArrayEmulator(rows=rows, cols=cols).run_block(a_block, b_block)
+    vector = VectorizedSystolicArrayEmulator(rows=rows, cols=cols).run_block(a_block, b_block)
+    return scalar, vector

@@ -35,14 +35,17 @@ SMALL_LLM = "llama-7b@decode,layers=2,decode=16,block=8"
 SMALL_MIXED = "llama-7b@batch=2,layers=2,decode=8,block=8"
 
 
+# ``default_config``/``timing_cache`` come from conftest.py (session-scoped,
+# shared with every other parallel-plan consumer); alias them to the short
+# names this module's tests use throughout.
 @pytest.fixture(scope="module")
-def config():
-    return maco_default_config()
+def config(default_config):
+    return default_config
 
 
 @pytest.fixture(scope="module")
-def cache():
-    return TimingCache()
+def cache(timing_cache):
+    return timing_cache
 
 
 class TestParallelismSpec:

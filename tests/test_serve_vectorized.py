@@ -24,39 +24,20 @@ from repro.serve import (
     TraceColumns,
     bursty_trace,
     bursty_trace_scalar,
-    default_tenants,
     llm_tenants,
     poisson_trace,
     poisson_trace_scalar,
     replay_trace,
 )
 
-#: Tenants exercising every scheduler-relevant field: distinct rates and
-#: mixes, priority tiers for the priority policy, and TTFT/TPOT deadlines
-#: for the SLO policy's EDF ordering.
-def mixed_tenants(count=3, rate=4.0):
-    specs = [spec.with_rate(rate) for spec in default_tenants(count)]
-    return [
-        spec.with_slo(ttft_slo_s=0.5 + 0.25 * index,
-                      tpot_slo_s=0.05,
-                      priority=index % 2)
-        for index, spec in enumerate(specs)
-    ]
-
-
-def serve_trace(seed=7, duration=20.0):
-    return poisson_trace(mixed_tenants(), duration_s=duration, seed=seed)
-
-
-def simulator(engine, scheduler="fcfs", batching="request", **kwargs):
-    defaults = dict(config=maco_default_config(num_nodes=4))
-    if batching == "step":
-        # max_batch 1 without preemption is the degenerate step mode that
-        # routes through the request-level engine — the mode where the
-        # scalar/array engine choice applies.
-        defaults.update(batching="step", max_batch=1, preemption=False)
-    defaults.update(kwargs)
-    return ServeSimulator(scheduler=scheduler, engine=engine, **defaults)
+# The tenant/trace/simulator factories live in parity_utils.py, shared with
+# the other parity suites and mirrored by the conformance fuzz layer's
+# samplers.
+from parity_utils import (
+    make_mixed_tenants as mixed_tenants,
+    make_serve_simulator as simulator,
+    make_serve_trace as serve_trace,
+)
 
 
 # ----------------------------------------------------------- generator parity

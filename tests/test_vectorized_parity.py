@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from parity_utils import run_emulator_pair
 from repro.cpu.mmu import MMU
 from repro.gemm.precision import Precision
 from repro.mem.page_table import FrameAllocator, AddressSpace, PageFaultError, PageTableWalker
@@ -446,11 +447,7 @@ class TestEmulatorParity:
         seed=st.integers(0, 2**16),
     )
     def test_bit_identical_outputs_and_cycles(self, rows, cols, tr, seed):
-        rng = np.random.default_rng(seed)
-        a_block = rng.standard_normal((tr, rows))
-        b_block = rng.standard_normal((rows, cols))
-        scalar = SystolicArrayEmulator(rows=rows, cols=cols).run_block(a_block, b_block)
-        vector = VectorizedSystolicArrayEmulator(rows=rows, cols=cols).run_block(a_block, b_block)
+        scalar, vector = run_emulator_pair(rows, cols, tr, seed)
         assert np.array_equal(scalar.output, vector.output)  # bitwise, not approx
         assert scalar.cycles == vector.cycles
         assert scalar.macs == vector.macs
