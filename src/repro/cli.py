@@ -9,7 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli gemm --size 4096 --nodes 8 --precision fp64
     python -m repro.cli explore --sample lhs --points 200 --jobs 4 --format csv
     python -m repro.cli workloads describe llama-7b@decode
-    python -m repro.cli parallel --strategy tp --degree 4
+    python -m repro.cli parallel --parallel tp:4,tp2d:2x2
     python -m repro.cli serve --trace poisson --tenants 3 --seed 7 --tenant-mix llm
     python -m repro.cli serve --tenant-mix llm --batching step --max-batch 8 \
         --scheduler slo --slo 0.5:0.1
@@ -190,10 +190,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             for phase in entry.phases
         ]
         if args.parallel:
-            headers += ["compute_seconds", "comm_seconds"]
+            headers += ["compute_seconds", "comm_seconds", "comm_overlapped_seconds"]
             for row, phase in zip(raw_rows, (phase for entry in graph_results
                                              for phase in entry.phases)):
-                row += [phase.compute_seconds, phase.comm_seconds]
+                row += [phase.compute_seconds, phase.comm_seconds,
+                        phase.comm_overlapped_seconds]
         title = (f"Design-space exploration - {len(results)} points by {args.objective}, "
                  "per phase")
     else:
@@ -263,52 +264,111 @@ def _parse_degrees(text: str) -> List[int]:
     return degrees
 
 
+#: Flags already warned about this process — deprecated aliases warn once.
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_once_deprecated(flag: str, replacement: str) -> None:
+    if flag not in _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED.add(flag)
+        print(f"warning: {flag} is deprecated; use {replacement}", file=sys.stderr)
+
+
+def _parallel_specs(args: argparse.Namespace) -> List[str]:
+    """The parallelism specs the ``parallel`` command should plan.
+
+    ``--parallel`` takes a comma list of specs (``tp:1,tp2d:2x2``); the old
+    ``--strategy``/``--degree`` pair stays accepted as a deprecated alias
+    (its cross product becomes the spec list) and warns once per process.
+    """
+    if args.parallel is not None:
+        if args.strategy is not None or args.degree is not None:
+            raise ValueError(
+                "--parallel replaces the deprecated --strategy/--degree; pass one or the other"
+            )
+        specs = [part.strip() for part in args.parallel.split(",") if part.strip()]
+        if not specs:
+            raise ValueError(f"--parallel {args.parallel!r} lists no specs")
+        return specs
+    if args.strategy is not None:
+        _warn_once_deprecated("--strategy", "--parallel SPEC (e.g. --parallel tp:4)")
+    if args.degree is not None:
+        _warn_once_deprecated("--degree", "--parallel SPEC (e.g. --parallel tp:1,tp:4)")
+    strategy = args.strategy if args.strategy is not None else "tp"
+    degrees = _parse_degrees(args.degree if args.degree is not None else "1,2,4,8")
+    return [f"{strategy}:{degree}" for degree in degrees]
+
+
 def _cmd_parallel(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelismSpec
+
     config = maco_default_config(num_nodes=args.nodes)
     precision = Precision.from_string(args.precision)
     graph = workload_graph_by_name(args.workload, precision)
-    degrees = _parse_degrees(args.degree)
+    specs = [ParallelismSpec.parse(spec) for spec in _parallel_specs(args)]
     # Like serve: stay serial unless --jobs asks for a pool (the cells are
     # cheap; SweepRunner(None) would default to all CPU cores).
     runner = SweepRunner(jobs=args.jobs if args.jobs is not None else 1)
-    plans = runner.sweep_parallelism(config, graph,
-                                     strategies=[args.strategy], degrees=degrees)
+    plans = runner.sweep_parallelism(config, graph, specs=specs)
 
     frequency = config.mmae.frequency_hz
-    phase_headers = ["strategy", "degree", "phase", "kind", "repeat",
-                     "compute_cycles", "comm_cycles", "seconds", "collective"]
+    phase_headers = ["spec", "strategy", "degree", "phase", "kind", "repeat",
+                     "compute_cycles", "comm_cycles", "overlapped_cycles",
+                     "seconds", "collective"]
     phase_rows = [
-        [plan.strategy, plan.degree, phase.name, phase.kind, phase.repeat,
-         phase.compute_seconds * frequency, phase.comm_seconds * frequency,
+        [str(plan.spec), plan.strategy, plan.degree, phase.name, phase.kind,
+         phase.repeat, phase.compute_seconds * frequency,
+         phase.comm_seconds * frequency,
+         phase.comm_overlapped_seconds * frequency,
          phase.seconds, phase.collective]
         for plan in plans
         for phase in plan.phases
     ]
-    summary_headers = ["strategy", "degree", "compute_s", "comm_s", "total_s",
-                       "single_node_s", "speedup", "comm_share", "interval_s"]
+    summary_headers = ["spec", "strategy", "degree", "compute_s", "comm_s",
+                       "overlapped_s", "total_s", "single_node_s", "speedup",
+                       "comm_share", "interval_s"]
     summary_rows = [
-        [plan.strategy, plan.degree, plan.compute_seconds, plan.comm_seconds,
-         plan.total_seconds, plan.unsharded_seconds, plan.speedup,
-         plan.comm_fraction, plan.pipeline_interval_seconds]
+        [str(plan.spec), plan.strategy, plan.degree, plan.compute_seconds,
+         plan.comm_seconds, plan.comm_overlapped_seconds, plan.total_seconds,
+         plan.unsharded_seconds, plan.speedup, plan.comm_fraction,
+         plan.pipeline_interval_seconds]
         for plan in plans
     ]
+    # The calibrated overhead-factor decomposition (SUMMA plans carry one).
+    overhead_headers = ["spec", "factor", "loop_control", "memory_ops", "pipeline_stalls"]
+    overhead_rows = []
+    for plan in plans:
+        if plan.overhead is not None:
+            components = plan.overhead.component_factors()
+            overhead_rows.append([str(plan.spec), plan.overhead.factor,
+                                  components["loop_control"], components["memory_ops"],
+                                  components["pipeline_stalls"]])
 
     if args.format == "json":
-        text = json.dumps({
+        payload = {
             "workload": graph.name,
             "phases": [dict(zip(phase_headers, row)) for row in phase_rows],
             "summary": [dict(zip(summary_headers, row)) for row in summary_rows],
-        }, indent=2)
+        }
+        if overhead_rows:
+            payload["overhead"] = [dict(zip(overhead_headers, row))
+                                   for row in overhead_rows]
+        text = json.dumps(payload, indent=2)
     elif args.format == "csv":
         text = render_csv(phase_headers, _format_cells(phase_rows))
     else:
-        text = "\n\n".join([
+        sections = [
             render_table(phase_headers, _format_cells(phase_rows),
                          title=f"Parallel plan - {graph.name} "
                                f"(cycles at the {frequency / 1e9:g} GHz MMAE clock)"),
             render_table(summary_headers, _format_cells(summary_rows),
                          title="Plan summary - latency vs single-node execution"),
-        ])
+        ]
+        if overhead_rows:
+            sections.append(render_table(
+                overhead_headers, _format_cells(overhead_rows),
+                title="Compute overhead factor - calibrated on the functional path"))
+        text = "\n\n".join(sections)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
@@ -582,6 +642,21 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One help string for every command's --parallel flag (satellite of the
+#: ParallelismSpec redesign: a single spelling, a single grammar message).
+_PARALLEL_SPEC_HELP = (
+    "parallelism spec, strategy:degree or strategy:RxC — "
+    "e.g. tp:4, tp2d:2x4, pp:2, auto:4"
+)
+
+
+def _add_parallel_spec_argument(parser: argparse.ArgumentParser,
+                                help_suffix: str = "") -> None:
+    """Add the shared ``--parallel SPEC`` argument with the common help text."""
+    parser.add_argument("--parallel", default=None, metavar="SPEC",
+                        help=_PARALLEL_SPEC_HELP + help_suffix)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -653,9 +728,9 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--per-phase", action="store_true",
                          help="emit one row per (design point, phase) instead of aggregates "
                               "(catalog workloads only)")
-    explore.add_argument("--parallel", default=None, metavar="STRATEGY:DEGREE",
-                         help="shard the workload across a node group at every design "
-                              "point, e.g. tp:4 or pp:2 (catalog workloads only)")
+    _add_parallel_spec_argument(
+        explore, "; shards the workload across a node group at every design "
+                 "point (catalog workloads only)")
     explore.add_argument("--top", type=int, default=10,
                          help="rows shown in table output (<= 0 for all)")
     explore.add_argument("--format", default="table", choices=["table", "csv", "json"])
@@ -669,10 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--workload", default="llama-7b@decode",
                           help="workload-catalog name, e.g. llama-7b@decode "
                                "(see 'repro workloads list')")
-    parallel.add_argument("--strategy", default="tp", choices=["tp", "pp", "auto"],
-                          help="tensor parallel, pipeline parallel, or pick the faster")
-    parallel.add_argument("--degree", default="1,2,4,8",
-                          help="node-group sizes to plan, comma separated (e.g. 4 or 1,2,4)")
+    _add_parallel_spec_argument(
+        parallel, " — comma separated to plan several, e.g. tp:1,tp:4,tp2d:2x2")
+    parallel.add_argument("--strategy", default=None, choices=["tp", "pp", "auto"],
+                          help="deprecated alias: use --parallel STRATEGY:DEGREE")
+    parallel.add_argument("--degree", default=None,
+                          help="deprecated alias: use --parallel STRATEGY:DEGREE "
+                               "(comma list, e.g. 4 or 1,2,4)")
     parallel.add_argument("--nodes", type=int, default=16,
                           help="compute nodes in the configuration (degree must fit)")
     parallel.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
@@ -737,9 +815,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "tenant, e.g. 0.5:0.1 (reported as SLO attainment/goodput; "
                             "the slo scheduler prioritises by TTFT deadline)")
     serve.add_argument("--nodes", type=int, default=8, help="compute nodes in the fleet")
-    serve.add_argument("--parallel", default=None, metavar="STRATEGY:DEGREE",
-                       help="serve each request on a node group instead of one node, "
-                            "e.g. tp:4 (--nodes must divide into groups of DEGREE)")
+    _add_parallel_spec_argument(
+        serve, "; serves each request on a node group instead of one node "
+               "(--nodes must divide into groups of the spec's degree)")
     serve.add_argument("--precision", default="fp32", choices=["fp64", "fp32", "fp16"])
     serve.add_argument("--seed", type=int, default=0, help="trace generation seed")
     serve.add_argument("--jobs", type=int, default=None,

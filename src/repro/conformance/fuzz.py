@@ -11,6 +11,11 @@ the properties the repo stakes out as exact:
 * ``tp-conservation`` — with communication zeroed, tensor-parallel per-node
   compute seconds sum to the unsharded phase (rel 1e-9), and ``tp:1`` is
   bit-identical to the unsharded timing;
+* ``tp2d-conservation`` — the SUMMA grid's per-node compute seconds sum to
+  the unsharded phase (rel 1e-9), ``tp2d:1x1`` is bit-identical to the
+  unsharded timing, the overlap split is well-formed
+  (``0 <= overlapped <= comm``), and no phase is slower than serial
+  compute + serial comm (overlap can only help);
 * ``serve-parity`` — scalar and array serve engines emit byte-identical
   ``to_json`` reports across schedulers × batching modes × seeds × fleets;
 * ``serve-shards`` — the sharded request-level run merges back to the exact
@@ -241,6 +246,77 @@ def _check_tp_conservation(spec: ScenarioSpec) -> None:
             )
 
 
+# -------------------------------------------------------- tp2d-conservation
+def _sample_tp2d_conservation(rng: random.Random) -> ScenarioSpec:
+    return _spec(
+        "tp2d-conservation",
+        workload=rng.choice(_catalog_names()),
+        precision=rng.choice(["fp32", "fp16"]),
+        rows=rng.randint(1, 3),
+        cols=rng.randint(1, 3),
+    )
+
+
+def _check_tp2d_conservation(spec: ScenarioSpec) -> None:
+    from repro.gemm.precision import Precision
+    from repro.parallel import ParallelismSpec, plan_parallel
+    from repro.workloads import workload_graph_by_name
+
+    graph = workload_graph_by_name(
+        str(spec.param("workload")), Precision.from_string(str(spec.param("precision")))
+    )
+    config = _shared_config()
+    cache = _shared_cache()
+    rows = int(spec.param("rows"))
+    cols = int(spec.param("cols"))
+    grid = f"{rows}x{cols}"
+    plan = plan_parallel(graph, config, ParallelismSpec("tp2d", grid=(rows, cols)),
+                         cache=cache)
+    for phase_plan in plan.phases:
+        total = sum(phase_plan.node_compute_seconds)
+        reference = phase_plan.unsharded_seconds
+        if abs(total - reference) > 1e-9 * max(abs(reference), 1e-30):
+            raise ScenarioFailure(
+                f"{graph.name} tp2d:{grid}: per-node compute {total!r} does not "
+                f"conserve the unsharded phase {reference!r}"
+            )
+        serial = phase_plan.compute_seconds + phase_plan.comm_seconds
+        if phase_plan.seconds > serial * (1 + 1e-12):
+            raise ScenarioFailure(
+                f"{graph.name} tp2d:{grid}: phase {phase_plan.name!r} "
+                f"({phase_plan.seconds!r} s) is slower than serial compute + "
+                f"comm ({serial!r} s) — overlap can only help"
+            )
+        overlapped = phase_plan.comm_overlapped_seconds
+        if not 0.0 <= overlapped <= phase_plan.comm_seconds * (1 + 1e-12):
+            raise ScenarioFailure(
+                f"{graph.name} tp2d:{grid}: overlapped comm {overlapped!r} outside "
+                f"[0, comm={phase_plan.comm_seconds!r}]"
+            )
+        exposed = phase_plan.comm_exposed_seconds
+        if abs(exposed + overlapped - phase_plan.comm_seconds) > 1e-12 * max(
+            phase_plan.comm_seconds, 1e-30
+        ):
+            raise ScenarioFailure(
+                f"{graph.name} tp2d:{grid}: exposed {exposed!r} + overlapped "
+                f"{overlapped!r} does not reconstruct comm {phase_plan.comm_seconds!r}"
+            )
+    identity = plan_parallel(graph, config, "tp2d:1x1", cache=cache)
+    if identity.total_seconds != identity.unsharded_seconds:
+        raise ScenarioFailure(f"{graph.name}: tp2d:1x1 total differs from unsharded timing")
+    for phase_plan in identity.phases:
+        if phase_plan.node_compute_seconds != (phase_plan.unsharded_seconds,):
+            raise ScenarioFailure(
+                f"{graph.name}: tp2d:1x1 phase {phase_plan.name!r} is not "
+                "bit-identical to the unsharded phase"
+            )
+        if phase_plan.comm_seconds != 0.0 or phase_plan.comm_overlapped_seconds != 0.0:
+            raise ScenarioFailure(
+                f"{graph.name}: tp2d:1x1 phase {phase_plan.name!r} reports "
+                "communication on a single-node grid"
+            )
+
+
 # ------------------------------------------------------------- serve-parity
 def _sample_serve_parity(rng: random.Random) -> ScenarioSpec:
     return _spec(
@@ -437,6 +513,8 @@ SCENARIO_KINDS: Dict[str, _Kind] = {
         _Kind("catalog-build", _sample_catalog_build, _check_catalog_build),
         _Kind("tp-conservation", _sample_tp_conservation, _check_tp_conservation,
               (("degree", 2),)),
+        _Kind("tp2d-conservation", _sample_tp2d_conservation, _check_tp2d_conservation,
+              (("rows", 1), ("cols", 1))),
         _Kind("serve-parity", _sample_serve_parity, _check_serve_parity,
               (("tenants", 2), ("duration", 1.0), ("rate", 1.0), ("num_nodes", 2),
                ("scheduler", "fcfs"), ("batching", "request"))),

@@ -26,7 +26,12 @@ rest on:
 * ``wavefront`` — the vectorized systolic emulator versus the plain matmul
   golden, with scalar-emulator bit-identity asserted inside the kernel;
 * ``gemm-plus`` — :func:`schedule_gemm_plus` overlap timing versus the
-  closed-form model documented in DESIGN.md.
+  closed-form model documented in DESIGN.md;
+* ``summa-pipeline`` — :func:`summa_pipeline_seconds`'s
+  ``max(compute, bcast) + min(compute, bcast) / steps`` closed form versus
+  the step-by-step pipeline timeline (prologue broadcast, ``S - 1``
+  overlapped steps, epilogue compute) summed independently, with the
+  ``lcm`` step count cross-checked against a gcd-based derivation.
 """
 
 from __future__ import annotations
@@ -348,6 +353,63 @@ def _gemm_plus_golden(case: GoldenCase, inputs: dict) -> np.ndarray:
     return np.stack([mapped, unmapped], axis=1)
 
 
+# ---------------------------------------------------------- summa-pipeline
+def _summa_inputs(case: GoldenCase, rng: np.random.Generator) -> dict:
+    count = int(case.param("count"))
+    compute = rng.uniform(0.01, 2.0, count)
+    broadcast = rng.uniform(0.0, 2.0, count)
+    # Pin the degenerate edges the closed form must honour exactly: a phase
+    # with nothing to broadcast, and the comm-dominated regime.
+    broadcast[0] = 0.0
+    compute[1] = 0.01
+    broadcast[1] = 2.0
+    return {"compute": compute, "broadcast": broadcast}
+
+
+def _summa_functional(case: GoldenCase, inputs: dict) -> np.ndarray:
+    import math
+
+    from repro.parallel.summa import summa_pipeline_seconds, summa_steps
+
+    rows = int(case.param("rows"))
+    cols = int(case.param("cols"))
+    steps = summa_steps(rows, cols)
+    # Independent step count: lcm via gcd, not math.lcm.
+    if steps != rows * cols // math.gcd(rows, cols):
+        raise GoldenMismatch(
+            f"{case.name}: summa_steps({rows}, {cols}) = {steps} disagrees with "
+            "the gcd-based lcm"
+        )
+    return np.asarray(
+        [
+            summa_pipeline_seconds(float(compute), float(broadcast), steps)
+            for compute, broadcast in zip(inputs["compute"], inputs["broadcast"])
+        ],
+        dtype=np.float64,
+    )
+
+
+def _summa_golden(case: GoldenCase, inputs: dict) -> np.ndarray:
+    # The pipeline timeline summed term by term: the first broadcast is
+    # exposed, steps 2..S overlap the previous step's compute, the last
+    # compute step runs with nothing behind it.  Algebraically equal to the
+    # closed form max(compute, bcast) + min(compute, bcast) / S.
+    import math
+
+    rows = int(case.param("rows"))
+    cols = int(case.param("cols"))
+    steps = rows * cols // math.gcd(rows, cols)
+    compute, broadcast = inputs["compute"], inputs["broadcast"]
+    step_compute = compute / steps
+    step_broadcast = broadcast / steps
+    timeline = (
+        step_broadcast
+        + (steps - 1) * np.maximum(step_compute, step_broadcast)
+        + step_compute
+    )
+    return np.where(broadcast == 0.0, compute, timeline)
+
+
 KERNELS: Dict[str, KernelDef] = {
     kernel.name: kernel
     for kernel in (
@@ -357,6 +419,7 @@ KERNELS: Dict[str, KernelDef] = {
         KernelDef("moe-topk", _moe_inputs, _moe_functional, _moe_golden),
         KernelDef("wavefront", _wavefront_inputs, _wavefront_functional, _wavefront_golden),
         KernelDef("gemm-plus", _gemm_plus_inputs, _gemm_plus_functional, _gemm_plus_golden),
+        KernelDef("summa-pipeline", _summa_inputs, _summa_functional, _summa_golden),
     )
 }
 
@@ -416,5 +479,13 @@ def default_corpus() -> List[GoldenCase]:
     cases.append(_case(
         "gemm-plus-overlap", "gemm-plus", 701,
         {"count": 64, "precision": "fp64"},
+    ))
+    cases.append(_case(
+        "summa-pipeline-2x4", "summa-pipeline", 809,
+        {"rows": 2, "cols": 4, "count": 64, "precision": "fp64"},
+    ))
+    cases.append(_case(
+        "summa-pipeline-3x3", "summa-pipeline", 811,
+        {"rows": 3, "cols": 3, "count": 48, "precision": "fp64"},
     ))
     return cases

@@ -108,12 +108,11 @@ def _evaluate_graph_worker(payload):
 
 
 def _parallel_plan_worker(payload):
-    """Pool worker: shard one graph under one (strategy, degree) cell."""
-    (config, graph, strategy, degree), cache = payload
-    from repro.parallel import ParallelismSpec, plan_parallel
+    """Pool worker: shard one graph under one parallelism spec."""
+    (config, graph, spec), cache = payload
+    from repro.parallel import plan_parallel
 
-    return plan_parallel(
-        graph, config, ParallelismSpec(strategy, degree), cache=_task_cache(cache))
+    return plan_parallel(graph, config, spec, cache=_task_cache(cache))
 
 
 def _workload_worker(payload) -> WorkloadResult:
@@ -227,20 +226,29 @@ class SweepRunner:
         graph,
         strategies: Sequence[str] = ("tp", "pp"),
         degrees: Sequence[int] = (1, 2, 4, 8),
+        specs: Optional[Sequence] = None,
     ) -> List:
-        """Plan every (strategy, degree) sharding of a graph, fanned out.
+        """Plan every sharding of a graph, fanned out over the pool.
 
-        Returns :class:`~repro.parallel.ParallelPlan` objects in row-major
-        (strategy outer, degree inner) order.  Plans are pure functions of
-        their inputs and every timing walk goes through the cache, so the
-        serial and pooled paths are bit-identical (``repro.cli parallel
-        --jobs`` relies on this).
+        Without ``specs`` the grid is the (strategy, degree) cross product in
+        row-major (strategy outer, degree inner) order.  ``specs`` — strings
+        or :class:`~repro.parallel.ParallelismSpec` objects, e.g.
+        ``["tp:4", "tp2d:2x4"]`` — replaces the cross product, which is how
+        grid-shaped ``tp2d`` cells join a sweep.  Returns
+        :class:`~repro.parallel.ParallelPlan` objects in input order.  Plans
+        are pure functions of their inputs and every timing walk goes through
+        the cache, so the serial and pooled paths are bit-identical
+        (``repro.cli parallel --jobs`` relies on this).
         """
-        tasks = [
-            (config, graph, strategy, degree)
-            for strategy in strategies
-            for degree in degrees
-        ]
+        from repro.parallel import ParallelismSpec
+
+        if specs is None:
+            specs = [
+                ParallelismSpec(strategy, degree)
+                for strategy in strategies
+                for degree in degrees
+            ]
+        tasks = [(config, graph, str(ParallelismSpec.parse(spec))) for spec in specs]
         return self.map(_parallel_plan_worker, tasks)
 
     def run_workloads(

@@ -132,7 +132,9 @@ class PhaseResult:
 
     ``compute_seconds``/``comm_seconds`` split the phase time when the graph
     was evaluated under a parallelism spec; without one the phase is all
-    compute and ``comm_seconds`` stays 0.
+    compute and ``comm_seconds`` stays 0.  ``comm_overlapped_seconds`` is the
+    slice of ``comm_seconds`` the plan's schedule hid under compute (only
+    ``tp2d`` overlaps today), so ``seconds`` pays just the exposed part.
     """
 
     name: str
@@ -145,6 +147,12 @@ class PhaseResult:
     state_bytes: int
     compute_seconds: float = 0.0
     comm_seconds: float = 0.0
+    comm_overlapped_seconds: float = 0.0
+
+    @property
+    def comm_exposed_seconds(self) -> float:
+        """Communication left on the phase's critical path after overlap."""
+        return self.comm_seconds - self.comm_overlapped_seconds
 
 
 @dataclass
@@ -484,6 +492,7 @@ class DesignSpaceExplorer:
                     state_bytes=phase.state_bytes,
                     compute_seconds=phase_plan.compute_seconds,
                     comm_seconds=phase_plan.comm_seconds,
+                    comm_overlapped_seconds=phase_plan.comm_overlapped_seconds,
                 )
             )
             total_flops += flops

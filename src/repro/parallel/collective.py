@@ -9,7 +9,7 @@ flat bandwidth constant, so a group whose ring wraps around the mesh pays
 more than a compact one, and co-scheduled groups that share links slow each
 other down.
 
-Three primitives cover the strategies in :mod:`repro.parallel.partitioner`:
+Five primitives cover the strategies in :mod:`repro.parallel.partitioner`:
 
 * **ring all-reduce** — the standard bandwidth-optimal algorithm: ``p``
   nodes arranged in a ring run ``p - 1`` reduce-scatter steps followed by
@@ -22,6 +22,15 @@ Three primitives cover the strategies in :mod:`repro.parallel.partitioner`:
   be replicated rather than summed.
 * **point-to-point** — one X-Y routed transfer, used for pipeline-stage
   activation hand-off.
+* **chain multicast** — a root's panel pipelined along the open chain of a
+  sub-group (no wrap-around), every listed sub-group concurrently; the 2-D
+  SUMMA planner prices its per-step row and column broadcasts with this.
+* **asymmetric gather** — the all-gather wire pattern with every payload
+  byte costed ``gather_asymmetry`` times the broadcast direction.  Real
+  meshes collect measurably slower than they distribute (csl-experiments
+  measured a D2H gather at 0.298 words/cycle against an H2D broadcast at
+  0.868 — 2.9x slower per byte); the knob is configurable and only the
+  serialization term scales, router latency is direction-agnostic.
 
 Contention between concurrent groups is modelled by overlaying the
 *background* groups' ring edges onto the same link-load map before taking
@@ -39,9 +48,13 @@ from repro.noc.mesh import MeshTopology
 from repro.noc.network import NocConfig
 from repro.noc.routing import route_hops, route_links
 
-__all__ = ["CollectiveCostModel"]
+__all__ = ["DEFAULT_GATHER_ASYMMETRY", "CollectiveCostModel"]
 
 Link = Tuple[int, int]
+
+#: Default gather-vs-broadcast per-byte cost ratio: csl-experiments measured
+#: D2H gathers at 0.298 words/cycle against H2D broadcasts at 0.868 (~2.9x).
+DEFAULT_GATHER_ASYMMETRY = 2.9
 
 
 @dataclass
@@ -56,10 +69,15 @@ class CollectiveCostModel:
     config: NocConfig = field(default_factory=NocConfig)
     #: Flit-header / flow-control overhead applied to every payload byte.
     protocol_overhead: float = 0.08
+    #: Per-byte cost of collecting relative to distributing (>= applied to
+    #: :meth:`gather_seconds` only; broadcasts and rings stay symmetric).
+    gather_asymmetry: float = DEFAULT_GATHER_ASYMMETRY
 
     def __post_init__(self) -> None:
         if self.protocol_overhead < 0:
             raise ValueError("protocol_overhead cannot be negative")
+        if self.gather_asymmetry <= 0:
+            raise ValueError("gather_asymmetry must be positive")
         self.topology = MeshTopology(self.config.width, self.config.height)
 
     # --------------------------------------------------------------- ring shape
@@ -73,6 +91,15 @@ class CollectiveCostModel:
         if len(nodes) < 2:
             return []
         return [(nodes[i], nodes[(i + 1) % len(nodes)]) for i in range(len(nodes))]
+
+    def chain_edges(self, group: Sequence[int]) -> List[Link]:
+        """The open chain of the group — the ring without the wrap-around edge.
+
+        A pipelined multicast forwards the payload root -> next -> ... -> last,
+        so only consecutive pairs carry traffic; a single-node chain has none.
+        """
+        nodes = self._validated_group(group)
+        return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]
 
     def _validated_group(self, group: Sequence[int]) -> List[int]:
         nodes = list(group)
@@ -191,3 +218,52 @@ class CollectiveCostModel:
         if src == dst or payload_bytes == 0:
             return 0.0
         return self._step_seconds([(src, dst)], float(payload_bytes), background)
+
+    def multicast_seconds(
+        self,
+        groups: Sequence[Sequence[int]],
+        payload_bytes: float,
+        background: Sequence[Sequence[int]] = (),
+    ) -> float:
+        """Seconds for every sub-group to chain-multicast ``payload_bytes`` at once.
+
+        Each sub-group's first node forwards the payload along the group's
+        open chain (a pipelined multicast crosses every chain link exactly
+        once), and all sub-groups run concurrently — the SUMMA planner passes
+        every grid row (or column) here, so a step's time is set by the
+        worst-loaded link across all the chains plus the deepest chain's
+        router latency.  Zero when no chain has an edge (all singleton
+        sub-groups) or the payload is empty.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload cannot be negative")
+        edges: List[Link] = []
+        for group in groups:
+            edges.extend(self.chain_edges(group))
+        if not edges or payload_bytes == 0:
+            return 0.0
+        return self._step_seconds(edges, float(payload_bytes), background)
+
+    def gather_seconds(
+        self,
+        group: Sequence[int],
+        payload_bytes: int,
+        background: Sequence[Sequence[int]] = (),
+    ) -> float:
+        """Seconds to collect and replicate ``payload_bytes`` with asymmetric pricing.
+
+        The wire pattern is the ring all-gather (``p - 1`` steps of
+        ``payload / p`` bytes), but every byte is costed
+        :attr:`gather_asymmetry` times the broadcast direction — only the
+        serialization term scales; the per-hop router latency is
+        direction-agnostic.  With ``gather_asymmetry=1`` this degenerates to
+        :meth:`all_gather_seconds` exactly.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload cannot be negative")
+        edges = self.ring_edges(group)
+        if not edges or payload_bytes == 0:
+            return 0.0
+        p = len(list(group))
+        chunk = payload_bytes / p * self.gather_asymmetry
+        return (p - 1) * self._step_seconds(edges, chunk, background)

@@ -1,8 +1,10 @@
 """Shard a :class:`~repro.workloads.graph.WorkloadGraph` across mesh nodes.
 
-Two strategies, both producing a :class:`ParallelPlan` whose per-phase rows
-separate *compute* from *communication* so the trade-off the plan makes is
-visible (``repro.cli parallel`` renders exactly these rows):
+Three sharding strategies, all producing a :class:`ParallelPlan` whose
+per-phase rows separate *compute* from *communication* — and, where the
+schedule overlaps the two, exposed from hidden communication — so the
+trade-off the plan makes is visible (``repro.cli parallel`` renders exactly
+these rows):
 
 * **tensor parallel** (``tp``) — every GEMM of every phase is split across
   the whole group along its larger free dimension: an ``N`` split gives each
@@ -14,6 +16,18 @@ visible (``repro.cli parallel`` renders exactly these rows):
   summing the per-node compute over the group reproduces the unsharded
   phase exactly (the conservation property ``tests/test_parallel.py``
   checks), and a degree-1 plan is bit-identical to the single-node numbers.
+* **2-D tensor parallel** (``tp2d:RxC``) — every GEMM is sharded SUMMA-style
+  over an R x C grid: grid row ``r`` owns the A row-panel, grid column ``c``
+  the B column-panel, and PE ``(r, c)`` its C tile, so per-node compute is
+  the ``(m_r / M) * (n_c / N)`` share of the unsharded time (conservation
+  again holds by construction).  The K dimension is walked in
+  ``lcm(R, C)`` pipeline steps whose row/column panel broadcasts run under
+  the previous step's compute; phase timing follows the pipelined closed
+  form ``max(compute, bcast) + exposed tail`` of
+  :func:`~repro.parallel.summa.summa_pipeline_seconds`, never worse than
+  the serial sum.  The final output replication is priced with the
+  asymmetric :meth:`~repro.parallel.collective.CollectiveCostModel.gather_seconds`
+  and stays fully exposed (nothing left to hide it under).
 * **pipeline parallel** (``pp``) — the phase list is cut into ``degree``
   contiguous stages balanced on unsharded phase seconds (contiguity respects
   the data dependence between phases); each stage runs its phases whole on
@@ -23,7 +37,8 @@ visible (``repro.cli parallel`` renders exactly these rows):
   fleet regains throughput because a group admits the next request after one
   :attr:`~ParallelPlan.pipeline_interval_seconds`.
 
-``auto`` plans both and keeps the one with the lower request latency.
+``auto`` plans both 1-D strategies and keeps the one with the lower request
+latency.
 
 Communication is priced by :class:`~repro.parallel.collective.CollectiveCostModel`
 on the actual mesh (X-Y routes, link sharing, co-scheduled background
@@ -34,65 +49,166 @@ derivations and worked examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MACOConfig
 from repro.core.perf import TimingCache, estimate_node_gemm_cached, memory_environment
-from repro.gemm.workloads import GEMMShape
 from repro.mmae.dataflow import MemoryEnvironment
 from repro.parallel.collective import CollectiveCostModel
+from repro.parallel.summa import (
+    OverheadBreakdown,
+    calibrate_overhead_factor,
+    summa_grid,
+    summa_pipeline_seconds,
+    summa_steps,
+)
 from repro.workloads.graph import Phase, WorkloadGraph
 
 __all__ = [
+    "PARALLELISM_STRATEGIES",
     "PARALLEL_STRATEGIES",
     "ParallelismSpec",
     "PhasePlan",
     "ParallelPlan",
+    "StrategyInfo",
     "node_groups",
     "plan_parallel",
 ]
 
-#: Strategy names accepted everywhere a spec is parsed (``auto`` resolves to
-#: whichever of the two scores the lower request latency).
-PARALLEL_STRATEGIES: Tuple[str, ...] = ("tp", "pp", "auto")
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """One entry of the strategy registry: how a strategy is spelled and sized."""
+
+    name: str
+    #: ``True`` when the spec's size is an ``RxC`` grid (degree = R * C)
+    #: rather than a plain integer degree.
+    takes_grid: bool
+    #: One-line summary surfaced in CLI help and error messages.
+    summary: str
+
+    @property
+    def spec_example(self) -> str:
+        return f"{self.name}:2x4" if self.takes_grid else f"{self.name}:4"
+
+
+#: The strategy registry: every spelling a spec parser accepts, in the order
+#: the docs present them.  ``auto`` resolves to whichever 1-D strategy scores
+#: the lower request latency.
+PARALLELISM_STRATEGIES: Dict[str, StrategyInfo] = {
+    info.name: info
+    for info in (
+        StrategyInfo("tp", False, "1-D tensor parallel: split each GEMM's larger free dim"),
+        StrategyInfo("tp2d", True, "2-D SUMMA tensor parallel on an RxC grid with overlap"),
+        StrategyInfo("pp", False, "pipeline parallel: contiguous phase stages, p2p hand-off"),
+        StrategyInfo("auto", False, "plan tp and pp, keep the lower request latency"),
+    )
+}
+
+#: Back-compat tuple of the registry's names (older callers iterate this).
+PARALLEL_STRATEGIES: Tuple[str, ...] = tuple(PARALLELISM_STRATEGIES)
+
+
+def _spec_grammar() -> str:
+    examples = ", ".join(info.spec_example for info in PARALLELISM_STRATEGIES.values())
+    return f"strategy:degree or strategy:RxC (one of: {examples})"
 
 
 @dataclass(frozen=True)
 class ParallelismSpec:
-    """How to shard: a strategy name plus the node-group size (degree)."""
+    """How to shard: a strategy name plus its size (degree, or an RxC grid).
+
+    Grid strategies (``tp2d``) carry ``grid=(rows, cols)`` and derive
+    ``degree = rows * cols`` when it is not given explicitly; scalar
+    strategies must leave ``grid`` unset.  :meth:`parse` and :meth:`format`
+    round-trip exactly: ``ParallelismSpec.parse(spec.format()) == spec``.
+    """
 
     strategy: str
-    degree: int
+    degree: int = 0
+    grid: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
-        if self.strategy not in PARALLEL_STRATEGIES:
+        info = PARALLELISM_STRATEGIES.get(self.strategy)
+        if info is None:
             raise ValueError(
                 f"unknown parallel strategy {self.strategy!r}; "
-                f"options: {sorted(PARALLEL_STRATEGIES)}"
+                f"options: {sorted(PARALLELISM_STRATEGIES)}"
+            )
+        if self.grid is not None:
+            if not info.takes_grid:
+                raise ValueError(
+                    f"strategy {self.strategy!r} takes a plain degree "
+                    f"(e.g. {info.spec_example}), not an RxC grid"
+                )
+            rows, cols = self.grid
+            if rows < 1 or cols < 1:
+                raise ValueError(
+                    f"parallelism grid dimensions must be >= 1, got {rows}x{cols}"
+                )
+            object.__setattr__(self, "grid", (int(rows), int(cols)))
+            if self.degree == 0:
+                object.__setattr__(self, "degree", rows * cols)
+            elif self.degree != rows * cols:
+                raise ValueError(
+                    f"degree {self.degree} contradicts grid {rows}x{cols} "
+                    f"({rows * cols} nodes)"
+                )
+        elif info.takes_grid:
+            raise ValueError(
+                f"strategy {self.strategy!r} needs an RxC grid, "
+                f"e.g. {info.spec_example}"
             )
         if self.degree < 1:
             raise ValueError(f"parallel degree must be >= 1, got {self.degree}")
 
     @classmethod
     def parse(cls, text: "ParallelismSpec | str") -> "ParallelismSpec":
-        """Parse ``"strategy:degree"`` (e.g. ``tp:4``); passes specs through."""
+        """Parse ``"strategy:degree"`` / ``"strategy:RxC"``; passes specs through."""
         if isinstance(text, ParallelismSpec):
             return text
-        strategy, separator, raw_degree = text.strip().lower().partition(":")
-        if not separator or not raw_degree:
+        strategy, separator, raw_size = text.strip().lower().partition(":")
+        if not separator or not raw_size:
             raise ValueError(
-                f"parallelism spec {text!r} must look like 'tp:4' "
-                f"(strategy:degree, strategies: {sorted(PARALLEL_STRATEGIES)})"
+                f"parallelism spec {text!r} must look like {_spec_grammar()}"
+            )
+        info = PARALLELISM_STRATEGIES.get(strategy)
+        if info is not None and info.takes_grid:
+            raw_rows, grid_separator, raw_cols = raw_size.partition("x")
+            if not grid_separator:
+                raise ValueError(
+                    f"parallelism spec {text!r}: strategy {strategy!r} needs an "
+                    f"RxC grid, e.g. {info.spec_example}"
+                )
+            try:
+                rows, cols = int(raw_rows), int(raw_cols)
+            except ValueError:
+                raise ValueError(
+                    f"parallelism spec {text!r}: grid {raw_size!r} is not RxC "
+                    "with integer dimensions"
+                ) from None
+            return cls(strategy=strategy, grid=(rows, cols))
+        if info is not None and "x" in raw_size:
+            raise ValueError(
+                f"parallelism spec {text!r}: strategy {strategy!r} takes a "
+                f"plain degree (e.g. {info.spec_example}), not an RxC grid"
             )
         try:
-            degree = int(raw_degree)
+            degree = int(raw_size)
         except ValueError:
-            raise ValueError(f"parallelism spec {text!r}: degree {raw_degree!r} "
-                             "is not an integer") from None
+            raise ValueError(
+                f"parallelism spec {text!r}: degree {raw_size!r} is not an integer"
+            ) from None
         return cls(strategy=strategy, degree=degree)
 
-    def __str__(self) -> str:
+    def format(self) -> str:
+        """The canonical spelling; ``parse(spec.format())`` is ``spec`` exactly."""
+        if self.grid is not None:
+            return f"{self.strategy}:{self.grid[0]}x{self.grid[1]}"
         return f"{self.strategy}:{self.degree}"
+
+    def __str__(self) -> str:
+        return self.format()
 
 
 @dataclass(frozen=True)
@@ -100,10 +216,15 @@ class PhasePlan:
     """One workload phase under the plan: who computes what, who talks to whom.
 
     Seconds fields cover all ``repeat`` executions of the phase.  The
-    tensor-parallel compute model keeps per-node seconds extent-proportional,
+    tensor-parallel compute models keep per-node seconds extent-proportional,
     so ``sum(node_compute_seconds) == unsharded_seconds`` whenever every node
     received work (conservation); the phase's wall-clock compute time is the
     slowest node, :attr:`compute_seconds`.
+
+    ``comm_seconds`` is the *serial* price of the phase's collectives;
+    ``comm_overlapped_seconds`` is the part of it the schedule hides under
+    compute (zero for ``tp``/``pp``, whose collectives land after the
+    compute), so the wall clock only pays :attr:`comm_exposed_seconds`.
     """
 
     name: str
@@ -117,6 +238,7 @@ class PhasePlan:
     comm_seconds: float
     comm_bytes: int
     collective: str
+    comm_overlapped_seconds: float = 0.0
 
     @property
     def compute_seconds(self) -> float:
@@ -124,14 +246,19 @@ class PhasePlan:
         return max(self.node_compute_seconds)
 
     @property
+    def comm_exposed_seconds(self) -> float:
+        """Communication left on the critical path after overlap."""
+        return self.comm_seconds - self.comm_overlapped_seconds
+
+    @property
     def seconds(self) -> float:
-        """Phase wall-clock time: compute plus (unoverlapped) communication."""
-        return self.compute_seconds + self.comm_seconds
+        """Phase wall-clock time: compute plus the exposed communication."""
+        return self.compute_seconds + self.comm_exposed_seconds
 
     @property
     def comm_fraction(self) -> float:
-        """Share of the phase spent communicating (0 for a degree-1 plan)."""
-        return self.comm_seconds / self.seconds if self.seconds > 0 else 0.0
+        """Share of the phase's wall clock spent communicating (0 at degree 1)."""
+        return self.comm_exposed_seconds / self.seconds if self.seconds > 0 else 0.0
 
 
 @dataclass
@@ -143,6 +270,18 @@ class ParallelPlan:
     degree: int
     group: Tuple[int, ...]
     phases: List[PhasePlan] = field(default_factory=list)
+    #: Compute overhead decomposition calibrated on the functional path
+    #: (attached by the SUMMA planner; a report field, not a timing input).
+    overhead: Optional[OverheadBreakdown] = None
+    #: The R x C grid for ``tp2d`` plans (``None`` for the 1-D strategies);
+    #: kept so reports can render the full spec — degree alone cannot tell
+    #: a 2x4 grid from a 4x2.
+    grid: Optional[Tuple[int, int]] = None
+
+    @property
+    def spec(self) -> ParallelismSpec:
+        """The spec this plan realises (``auto`` plans report the winner)."""
+        return ParallelismSpec(self.strategy, self.degree, self.grid)
 
     @property
     def compute_seconds(self) -> float:
@@ -151,13 +290,23 @@ class ParallelPlan:
 
     @property
     def comm_seconds(self) -> float:
-        """Collective and stage hand-off seconds summed over the phases."""
+        """Serial collective and hand-off seconds summed over the phases."""
         return sum(phase.comm_seconds for phase in self.phases)
+
+    @property
+    def comm_overlapped_seconds(self) -> float:
+        """Communication hidden under compute by the pipelined schedules."""
+        return sum(phase.comm_overlapped_seconds for phase in self.phases)
+
+    @property
+    def comm_exposed_seconds(self) -> float:
+        """Communication that stays on the request's critical path."""
+        return sum(phase.comm_exposed_seconds for phase in self.phases)
 
     @property
     def total_seconds(self) -> float:
         """End-to-end latency of one request under the plan."""
-        return self.compute_seconds + self.comm_seconds
+        return self.compute_seconds + self.comm_exposed_seconds
 
     @property
     def unsharded_seconds(self) -> float:
@@ -188,7 +337,9 @@ class ParallelPlan:
     @property
     def comm_fraction(self) -> float:
         """Fraction of the request latency spent communicating."""
-        return self.comm_seconds / self.total_seconds if self.total_seconds > 0 else 0.0
+        return (
+            self.comm_exposed_seconds / self.total_seconds if self.total_seconds > 0 else 0.0
+        )
 
 
 def node_groups(num_nodes: int, degree: int) -> List[Tuple[int, ...]]:
@@ -330,6 +481,98 @@ def _tp_phase_plan(
     )
 
 
+def _tp2d_phase_plan(
+    config: MACOConfig,
+    phase: Phase,
+    group: Tuple[int, ...],
+    grid: Tuple[int, int],
+    env: MemoryEnvironment,
+    cache: Optional[TimingCache],
+    collectives: CollectiveCostModel,
+    background: Sequence[Sequence[int]],
+    include_communication: bool,
+) -> PhasePlan:
+    """SUMMA-shard one phase over the R x C grid with pipelined broadcasts.
+
+    Per GEMM ``C[M,N] += A[M,K] @ B[K,N]``: node ``(r, c)`` computes the
+    ``m_r x n_c`` tile, an extent-proportional ``(m_r / M) * (n_c / N)``
+    share of the unsharded seconds — the shares sum to 1 over the grid, so
+    conservation holds by construction, and ``_balanced_shares`` hands the
+    remainder elements to the first rows/columns so node ``(0, 0)`` is the
+    phase's critical node for every shape.  The K loop runs in
+    ``lcm(R, C)`` pipeline steps; each step's A k-panel is chain-multicast
+    along every grid row concurrently (payload ``bytes_a / (R * S)`` per
+    row) and the B k-panel down every grid column, and all but the first
+    step's broadcasts hide under the previous step's compute.  The closed
+    form in :func:`summa_pipeline_seconds` prices the resulting wall clock;
+    whatever it hides is reported as ``comm_overlapped_seconds``.  The final
+    C replication is an asymmetric gather and stays fully exposed — it can
+    only start when the last tile is done.
+    """
+    rows, cols = grid
+    degree = len(group)
+    grid_rows, grid_cols = summa_grid(group, rows, cols)
+    steps = summa_steps(rows, cols)
+    node_seconds = [0.0] * degree
+    comm_seconds = 0.0
+    comm_overlapped = 0.0
+    comm_bytes = 0
+    collective_kinds: List[str] = []
+    unsharded_once = 0.0
+    for shape in phase.shapes:
+        whole = estimate_node_gemm_cached(config, shape, env=env, cache=cache).seconds
+        unsharded_once += whole
+        m_shares = _balanced_shares(shape.m, rows)
+        n_shares = _balanced_shares(shape.n, cols)
+        for row_index in range(rows):
+            row_fraction = m_shares[row_index] / shape.m
+            for col_index in range(cols):
+                node_seconds[row_index * cols + col_index] += (
+                    whole * row_fraction * (n_shares[col_index] / shape.n)
+                )
+        if degree > 1 and include_communication:
+            # This shape's wall-clock compute is node (0, 0)'s share — the
+            # largest by the balanced-shares remainder convention.
+            shape_compute = whole * (m_shares[0] / shape.m) * (n_shares[0] / shape.n)
+            step_broadcast = collectives.multicast_seconds(
+                grid_rows, shape.bytes_a / (rows * steps), background
+            ) + collectives.multicast_seconds(
+                grid_cols, shape.bytes_b / (cols * steps), background
+            )
+            broadcast = step_broadcast * steps
+            gather = collectives.gather_seconds(group, shape.bytes_c, background)
+            pipelined = summa_pipeline_seconds(shape_compute, broadcast, steps)
+            exposed = (pipelined - shape_compute) + gather
+            comm_seconds += broadcast + gather
+            comm_overlapped += (broadcast + gather) - exposed
+            # Wire bytes: each node ends up holding its row-panel of A
+            # (receiving the (C-1)/C it did not store), its column-panel of
+            # B, and the gathered C.
+            comm_bytes += (
+                shape.bytes_a * (cols - 1) // cols
+                + shape.bytes_b * (rows - 1) // rows
+                + shape.bytes_c * (degree - 1) // degree
+            )
+            if broadcast > 0 and "summa-bcast" not in collective_kinds:
+                collective_kinds.append("summa-bcast")
+            if gather > 0 and "gather" not in collective_kinds:
+                collective_kinds.append("gather")
+    return PhasePlan(
+        name=phase.name,
+        kind=phase.kind.value,
+        step=phase.step,
+        repeat=phase.repeat,
+        stage=0,
+        nodes=group,
+        unsharded_seconds=unsharded_once * phase.repeat,
+        node_compute_seconds=tuple(seconds * phase.repeat for seconds in node_seconds),
+        comm_seconds=comm_seconds * phase.repeat,
+        comm_bytes=comm_bytes * phase.repeat,
+        collective="+".join(collective_kinds) if collective_kinds else "none",
+        comm_overlapped_seconds=comm_overlapped * phase.repeat,
+    )
+
+
 def _pp_phase_plans(
     config: MACOConfig,
     graph: WorkloadGraph,
@@ -444,11 +687,22 @@ def plan_parallel(
         # Lower request latency wins; ties go to tensor parallel (listed first).
         return min(candidates, key=lambda plan: plan.total_seconds)
 
+    overhead: Optional[OverheadBreakdown] = None
     if spec.strategy == "tp":
         phases = [
             _tp_phase_plan(config, phase, group, env, cache, collectives, background, include_communication)
             for phase in graph.phases
         ]
+    elif spec.strategy == "tp2d":
+        assert spec.grid is not None  # enforced by ParallelismSpec
+        phases = [
+            _tp2d_phase_plan(
+                config, phase, group, spec.grid, env, cache, collectives,
+                background, include_communication,
+            )
+            for phase in graph.phases
+        ]
+        overhead = calibrate_overhead_factor(config.mmae.sa_rows, config.mmae.sa_cols)
     else:
         phases = _pp_phase_plans(config, graph, group, env, cache, collectives,
                                  background, include_communication)
@@ -458,4 +712,6 @@ def plan_parallel(
         degree=spec.degree,
         group=group,
         phases=phases,
+        overhead=overhead,
+        grid=spec.grid,
     )

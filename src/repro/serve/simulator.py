@@ -250,7 +250,9 @@ def _phase_service_rows(
         else:
             phase_plan = plan.phases[index]
             gemm_seconds = phase_plan.compute_seconds
-            comm_seconds = phase_plan.comm_seconds
+            # Only the exposed slice of the collectives lands on the service
+            # time — tp2d's pipelined broadcasts already ran under compute.
+            comm_seconds = phase_plan.comm_exposed_seconds
             # Tensor parallelism shards the tail and stash across the group;
             # a pipeline stage runs its phases whole on one node.
             sharers = len(phase_plan.nodes)

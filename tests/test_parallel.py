@@ -22,11 +22,18 @@ from repro.core.explorer import DesignPoint
 from repro.core.perf import TimingCache, memory_environment
 from repro.gemm.precision import Precision
 from repro.parallel import (
+    DEFAULT_GATHER_ASYMMETRY,
+    OVERHEAD_COMPONENT_SHARES,
     PARALLEL_STRATEGIES,
+    PARALLELISM_STRATEGIES,
     CollectiveCostModel,
     ParallelismSpec,
+    calibrate_overhead_factor,
     node_groups,
     plan_parallel,
+    summa_grid,
+    summa_pipeline_seconds,
+    summa_steps,
 )
 from repro.workloads import workload_catalog, workload_graph_by_name
 
@@ -60,8 +67,44 @@ class TestParallelismSpec:
         with pytest.raises(ValueError):
             ParallelismSpec.parse(text)
 
-    def test_strategies_are_the_documented_trio(self):
-        assert sorted(PARALLEL_STRATEGIES) == ["auto", "pp", "tp"]
+    def test_strategies_are_the_documented_quartet(self):
+        assert sorted(PARALLEL_STRATEGIES) == ["auto", "pp", "tp", "tp2d"]
+        assert tuple(PARALLELISM_STRATEGIES) == PARALLEL_STRATEGIES
+
+    def test_registry_examples_parse_back_to_their_strategy(self):
+        for name, info in PARALLELISM_STRATEGIES.items():
+            assert info.name == name
+            assert info.summary
+            spec = ParallelismSpec.parse(info.spec_example)
+            assert spec.strategy == name
+
+    def test_tp2d_grid_round_trips(self):
+        spec = ParallelismSpec.parse("tp2d:2x4")
+        assert (spec.strategy, spec.degree, spec.grid) == ("tp2d", 8, (2, 4))
+        assert str(spec) == "tp2d:2x4"
+        assert ParallelismSpec.parse(str(spec)) == spec
+
+    def test_grid_constructor_derives_the_degree(self):
+        assert ParallelismSpec("tp2d", grid=(3, 2)).degree == 6
+        assert ParallelismSpec("tp2d", degree=6, grid=(3, 2)).grid == (3, 2)
+        with pytest.raises(ValueError, match="contradicts"):
+            ParallelismSpec("tp2d", degree=5, grid=(3, 2))
+        with pytest.raises(ValueError, match="plain degree"):
+            ParallelismSpec("tp", degree=4, grid=(2, 2))
+
+    @pytest.mark.parametrize(
+        "text", ["tp2d:4", "tp2d:", "tp2d:0x4", "tp2d:2x", "tp2d:axb", "tp:2x2"])
+    def test_malformed_grid_specs_fail_loudly(self, text):
+        with pytest.raises(ValueError):
+            ParallelismSpec.parse(text)
+
+    def test_grid_errors_name_the_expected_shape(self):
+        with pytest.raises(ValueError, match="RxC grid"):
+            ParallelismSpec.parse("tp2d:4")
+        with pytest.raises(ValueError, match=">= 1"):
+            ParallelismSpec.parse("tp2d:0x4")
+        with pytest.raises(ValueError, match="not an RxC grid"):
+            ParallelismSpec.parse("tp:2x2")
 
 
 class TestNodeGroups:
@@ -125,6 +168,109 @@ class TestCollectiveCostModel:
             model.ring_allreduce_seconds([0, 0, 1], 1024)
         with pytest.raises(ValueError):
             model.ring_allreduce_seconds([0, 99], 1024)
+
+    def test_chain_drops_the_ring_wraparound_edge(self):
+        model = CollectiveCostModel()
+        assert model.chain_edges([0, 1, 2, 3]) == [(0, 1), (1, 2), (2, 3)]
+        assert model.chain_edges([5]) == []
+        assert model.ring_edges([0, 1, 2, 3]) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_multicast_prices_concurrent_chains(self):
+        model = CollectiveCostModel()
+        payload = 16 << 20
+        quiet = model.multicast_seconds([[0, 1, 2, 3]], payload)
+        assert quiet > 0.0
+        # Singleton chains and empty payloads move nothing.
+        assert model.multicast_seconds([[5]], payload) == 0.0
+        assert model.multicast_seconds([[0, 1, 2, 3]], 0) == 0.0
+        # A background ring on the same row links slows the chain down.
+        contended = model.multicast_seconds([[0, 1, 2, 3]], payload,
+                                            background=[[0, 1, 2, 3]])
+        assert contended > quiet
+
+    def test_gather_asymmetry_defaults_to_the_measured_ratio(self):
+        assert CollectiveCostModel().gather_asymmetry == DEFAULT_GATHER_ASYMMETRY == 2.9
+        with pytest.raises(ValueError, match="gather_asymmetry"):
+            CollectiveCostModel(gather_asymmetry=0.0)
+
+    def test_symmetric_gather_degenerates_to_all_gather(self):
+        model = CollectiveCostModel(gather_asymmetry=1.0)
+        group = [0, 1, 2, 3]
+        payload = 32 << 20
+        assert model.gather_seconds(group, payload) == \
+            model.all_gather_seconds(group, payload)
+        assert model.gather_seconds([3], payload) == 0.0
+
+    def test_gather_asymmetry_scales_only_the_serialization_term(self):
+        group = [0, 1, 2, 3]
+        payload = 32 << 20
+        seconds = {
+            asymmetry: CollectiveCostModel(gather_asymmetry=asymmetry)
+            .gather_seconds(group, payload)
+            for asymmetry in (1.0, 2.0, 3.0)
+        }
+        assert seconds[3.0] > seconds[2.0] > seconds[1.0] > 0.0
+        # Cost is affine in the asymmetry (the router-latency intercept is
+        # direction-agnostic), so equal knob steps add equal serialization.
+        assert seconds[3.0] - seconds[2.0] == pytest.approx(
+            seconds[2.0] - seconds[1.0], rel=1e-12)
+
+
+class TestSummaPrimitives:
+    def test_grid_rows_and_columns_partition_the_group(self):
+        grid_rows, grid_cols = summa_grid(range(8), 2, 4)
+        assert grid_rows == [(0, 1, 2, 3), (4, 5, 6, 7)]
+        assert grid_cols == [(0, 4), (1, 5), (2, 6), (3, 7)]
+
+    def test_grid_shape_must_match_the_group(self):
+        with pytest.raises(ValueError):
+            summa_grid(range(8), 2, 3)
+        with pytest.raises(ValueError):
+            summa_grid(range(4), 0, 4)
+
+    def test_steps_walk_the_lcm_of_the_grid(self):
+        assert summa_steps(1, 1) == 1
+        assert summa_steps(2, 4) == 4
+        assert summa_steps(2, 3) == 6
+        assert summa_steps(3, 3) == 3
+        with pytest.raises(ValueError):
+            summa_steps(0, 4)
+
+    def test_pipeline_hides_the_shorter_side(self):
+        # Compute-dominated: only one step's broadcast stays exposed.
+        assert summa_pipeline_seconds(8.0, 2.0, 4) == pytest.approx(8.0 + 2.0 / 4)
+        # Comm-dominated: the roles flip and a compute tail is exposed.
+        assert summa_pipeline_seconds(2.0, 8.0, 4) == pytest.approx(8.0 + 2.0 / 4)
+
+    def test_pipeline_bounded_by_both_sides_and_the_serial_sum(self):
+        for compute, broadcast, steps in [(1.0, 1.0, 1), (0.3, 5.0, 6), (5.0, 0.3, 6)]:
+            pipelined = summa_pipeline_seconds(compute, broadcast, steps)
+            assert pipelined >= max(compute, broadcast)
+            assert pipelined <= compute + broadcast
+
+    def test_zero_broadcast_is_exactly_the_compute(self):
+        assert summa_pipeline_seconds(3.0, 0.0, 4) == 3.0
+        # A single step cannot overlap anything: the sum is serial.
+        assert summa_pipeline_seconds(2.0, 3.0, 1) == pytest.approx(5.0)
+
+
+class TestOverheadCalibration:
+    def test_component_shares_cover_the_whole_overhead(self):
+        names = [name for name, _ in OVERHEAD_COMPONENT_SHARES]
+        assert names == ["loop_control", "memory_ops", "pipeline_stalls"]
+        assert sum(share for _, share in OVERHEAD_COMPONENT_SHARES) == pytest.approx(1.0)
+
+    def test_factor_comes_from_the_functional_path(self):
+        breakdown = calibrate_overhead_factor(4, 4)
+        assert breakdown.factor > 1.0
+        components = breakdown.component_factors()
+        assert set(components) == {"loop_control", "memory_ops", "pipeline_stalls"}
+        assert sum(components.values()) == pytest.approx(breakdown.factor - 1.0)
+        payload = breakdown.to_dict()
+        assert payload["factor"] == breakdown.factor
+
+    def test_calibration_is_memoized(self):
+        assert calibrate_overhead_factor(4, 4) is calibrate_overhead_factor(4, 4)
 
 
 class TestTensorParallelConservation:
@@ -202,6 +348,86 @@ class TestTensorParallelPlan:
         graph = workload_graph_by_name(SMALL_LLM)
         with pytest.raises(ValueError, match="degree"):
             plan_parallel(graph, config, "tp:4", group=(0, 1), cache=cache)
+
+
+class TestSumma2DPlan:
+    """SUMMA sharding: conservation, 1x1 identity, and the overlap model."""
+
+    @pytest.mark.parametrize("grid", [(2, 2), (2, 4), (4, 2)])
+    def test_sharded_compute_sums_to_unsharded(self, grid, config, cache):
+        rows, cols = grid
+        graph = workload_graph_by_name(SMALL_MIXED)
+        plan = plan_parallel(graph, config, f"tp2d:{rows}x{cols}", cache=cache,
+                             include_communication=False)
+        assert plan.grid == grid
+        assert plan.degree == rows * cols
+        for phase_plan in plan.phases:
+            assert phase_plan.comm_seconds == 0.0
+            total = sum(phase_plan.node_compute_seconds)
+            assert total == pytest.approx(phase_plan.unsharded_seconds, rel=1e-9)
+
+    def test_1x1_grid_is_bit_identical_to_unsharded(self, config, cache):
+        graph = workload_graph_by_name(SMALL_LLM)
+        tp2d = plan_parallel(graph, config, "tp2d:1x1", cache=cache)
+        tp = plan_parallel(graph, config, "tp:1", cache=cache)
+        assert tp2d.total_seconds == tp.total_seconds == tp2d.unsharded_seconds
+        assert tp2d.comm_seconds == 0.0
+        for phase_plan in tp2d.phases:
+            assert phase_plan.node_compute_seconds == (phase_plan.unsharded_seconds,)
+            assert phase_plan.comm_overlapped_seconds == 0.0
+            assert phase_plan.collective == "none"
+
+    def test_never_slower_than_the_serial_compute_plus_comm(self, config, cache):
+        for name in (SMALL_LLM, SMALL_MIXED):
+            graph = workload_graph_by_name(name)
+            for spec in ("tp2d:2x2", "tp2d:2x4"):
+                plan = plan_parallel(graph, config, spec, cache=cache)
+                for phase_plan in plan.phases:
+                    serial = phase_plan.compute_seconds + phase_plan.comm_seconds
+                    assert phase_plan.seconds <= serial * (1 + 1e-12)
+
+    def test_overlap_split_reconstructs_the_serial_comm(self, config, cache):
+        graph = workload_graph_by_name(SMALL_MIXED)
+        plan = plan_parallel(graph, config, "tp2d:2x4", cache=cache)
+        assert plan.comm_seconds > 0.0
+        assert sum(phase.comm_bytes for phase in plan.phases) > 0
+        for phase_plan in plan.phases:
+            assert phase_plan.comm_overlapped_seconds >= 0.0
+            assert phase_plan.comm_overlapped_seconds <= \
+                phase_plan.comm_seconds * (1 + 1e-12)
+            assert phase_plan.comm_exposed_seconds + phase_plan.comm_overlapped_seconds \
+                == pytest.approx(phase_plan.comm_seconds, rel=1e-12)
+            assert phase_plan.seconds == pytest.approx(
+                phase_plan.compute_seconds + phase_plan.comm_exposed_seconds, rel=1e-12)
+            assert "summa-bcast" in phase_plan.collective
+            assert "gather" in phase_plan.collective
+        # Some broadcast time actually hides under compute somewhere.
+        assert plan.comm_overlapped_seconds > 0.0
+
+    def test_degenerate_grids_match_1d_tensor_parallel_compute(self, config, cache):
+        # bert's M and N extents both divide by 4, so a 1x4 grid (N split)
+        # and a 4x1 grid (M split) each balance like 1-D tp does.
+        graph = workload_graph_by_name("bert")
+        tp = plan_parallel(graph, config, "tp:4", cache=cache,
+                           include_communication=False)
+        for spec in ("tp2d:1x4", "tp2d:4x1"):
+            plan = plan_parallel(graph, config, spec, cache=cache,
+                                 include_communication=False)
+            assert plan.total_seconds == pytest.approx(tp.total_seconds, rel=0.05)
+
+    def test_plan_carries_the_calibrated_overhead(self, config, cache):
+        graph = workload_graph_by_name(SMALL_LLM)
+        plan = plan_parallel(graph, config, "tp2d:2x2", cache=cache)
+        assert plan.overhead is not None
+        assert plan.overhead.factor > 1.0
+        assert plan.spec == ParallelismSpec("tp2d", grid=(2, 2))
+        assert plan_parallel(graph, config, "tp:2", cache=cache).overhead is None
+
+    def test_grid_must_fit_the_fleet(self, cache):
+        graph = workload_graph_by_name(SMALL_LLM)
+        small = maco_default_config(num_nodes=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            plan_parallel(graph, small, "tp2d:2x2", cache=cache)
 
 
 class TestPipelineParallelPlan:
@@ -284,6 +510,27 @@ class TestExplorerParallelism:
         assert [(plan.strategy, plan.degree) for plan in plans] == [
             ("tp", 1), ("tp", 2), ("pp", 1), ("pp", 2)]
 
+    def test_sweep_parallelism_accepts_explicit_specs(self, config, cache):
+        graph = workload_graph_by_name(SMALL_LLM)
+        runner = SweepRunner(jobs=1, cache=cache)
+        plans = runner.sweep_parallelism(config, graph, specs=("tp:2", "tp2d:2x2"))
+        assert [str(plan.spec) for plan in plans] == ["tp:2", "tp2d:2x2"]
+        assert plans[1].grid == (2, 2)
+
+    def test_tp2d_results_split_exposed_from_overlapped_comm(self, cache):
+        explorer = DesignSpaceExplorer()
+        point = DesignPoint(name="p", num_nodes=4)
+        graph = workload_graph_by_name(SMALL_MIXED)
+        result = explorer.evaluate_graph(point, graph, cache=cache,
+                                         parallelism="tp2d:2x2")
+        assert result.parallelism == "tp2d:2x2"
+        for phase in result.phases:
+            assert phase.comm_overlapped_seconds >= 0.0
+            assert phase.comm_exposed_seconds == pytest.approx(
+                phase.comm_seconds - phase.comm_overlapped_seconds, rel=1e-12)
+            assert phase.seconds == pytest.approx(
+                phase.compute_seconds + phase.comm_exposed_seconds, rel=1e-12)
+
 
 class TestServeParallelism:
     def _report_json(self, parallelism, jobs=None):
@@ -310,6 +557,17 @@ class TestServeParallelism:
     def test_uneven_fleet_rejected(self):
         with pytest.raises(ValueError, match="divide"):
             self._report_json("tp:3")
+
+    def test_tp2d_1x1_is_byte_identical_to_unsharded(self):
+        assert self._report_json(None) == self._report_json("tp2d:1x1")
+
+    def test_tp2d_serving_is_deterministic_across_jobs(self):
+        assert self._report_json("tp2d:2x2", jobs=1) == \
+            self._report_json("tp2d:2x2", jobs=2)
+
+    def test_tp2d_groups_shrink_the_server_count(self):
+        report = json.loads(self._report_json("tp2d:2x2"))
+        assert len(report["nodes"]) == 1  # 4 nodes / (2x2 grid)
 
     def _pp_simulator(self):
         from repro.core.maco import MACOSystem
@@ -409,3 +667,79 @@ class TestParallelCLI:
 
         assert main(["explore", "--workload", "square", "--parallel", "tp:2"]) == 2
         assert "--parallel" in capsys.readouterr().err
+
+    def test_parallel_spec_flag_plans_mixed_strategies(self, capsys):
+        out = self._run(capsys, "parallel", "--workload", SMALL_LLM,
+                        "--nodes", "4", "--parallel", "tp:4,tp2d:2x2",
+                        "--format", "json")
+        payload = json.loads(out)
+        assert [row["spec"] for row in payload["summary"]] == ["tp:4", "tp2d:2x2"]
+        # Only the SUMMA plan carries a calibrated overhead decomposition.
+        [overhead] = payload["overhead"]
+        assert overhead["spec"] == "tp2d:2x2"
+        assert overhead["factor"] > 1.0
+        assert overhead["loop_control"] > 0.0
+        tp2d_rows = [row for row in payload["phases"] if row["spec"] == "tp2d:2x2"]
+        assert tp2d_rows
+        for row in tp2d_rows:
+            assert row["overlapped_cycles"] >= 0.0
+            assert "summa-bcast" in row["collective"]
+
+    def test_deprecated_flags_warn_once_and_alias_parallel(self, capsys):
+        import repro.cli as cli
+
+        cli._DEPRECATION_WARNED.clear()
+        argv = ["parallel", "--workload", SMALL_LLM, "--strategy", "tp",
+                "--degree", "2", "--format", "json"]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr()
+        assert "deprecated" in first.err
+        assert cli.main(argv) == 0
+        second = capsys.readouterr()
+        assert second.err == ""  # warned once per process, not per run
+        assert second.out == first.out
+        assert cli.main(["parallel", "--workload", SMALL_LLM,
+                         "--parallel", "tp:2", "--format", "json"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert direct["summary"] == json.loads(first.out)["summary"]
+
+    def test_parallel_flag_conflicts_with_deprecated_aliases(self, capsys):
+        from repro.cli import main
+
+        assert main(["parallel", "--workload", SMALL_LLM,
+                     "--parallel", "tp:2", "--strategy", "tp"]) == 2
+        assert "--parallel replaces" in capsys.readouterr().err
+
+    def test_bad_grid_spec_is_a_cli_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["parallel", "--workload", SMALL_LLM,
+                     "--parallel", "tp2d:0x4"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_serve_accepts_a_grid_spec(self, capsys):
+        out = self._run(capsys, "serve", "--tenants", "2", "--requests", "20",
+                        "--nodes", "4", "--parallel", "tp2d:2x2",
+                        "--format", "json")
+        payload = json.loads(out)
+        assert len(payload["nodes"]) == 1  # 4 nodes / one 2x2 grid group
+
+
+class TestPublicExports:
+    def test_parallel_package_all_is_importable(self):
+        import repro.parallel as parallel
+
+        for name in parallel.__all__:
+            assert getattr(parallel, name) is not None
+        for name in ("ParallelismSpec", "summa_pipeline_seconds",
+                     "calibrate_overhead_factor", "DEFAULT_GATHER_ASYMMETRY"):
+            assert name in parallel.__all__
+
+    def test_top_level_exports_resolve_lazily(self):
+        import repro
+
+        assert repro.ParallelismSpec is ParallelismSpec
+        assert repro.PARALLELISM_STRATEGIES is PARALLELISM_STRATEGIES
+        assert "plan_parallel" in dir(repro)
+        with pytest.raises(AttributeError):
+            repro.not_an_export
