@@ -359,6 +359,63 @@ def bench_serve_scale(quick: bool, repeat: int) -> Dict[str, object]:
     }
 
 
+def bench_serve_autoscale(quick: bool, repeat: int) -> Dict[str, object]:
+    """Elastic serving throughput plus the min==max neutrality witness.
+
+    A bursty 110%-overload LLM trace runs through the step-batching loop with
+    the fleet autoscaling between one and four groups — the controller wakes
+    on every window boundary, so this prices the elasticity bookkeeping the
+    fixed-fleet benches never touch.  ``parity`` pins the subsystem's
+    neutrality contract: a pinned ``min_groups == max_groups`` policy must
+    produce, autoscale section aside, the byte-identical report of a plain
+    fixed fleet.  Raw requests/s are host-dependent and gated with the wide
+    throughput slack of :func:`check_regression`.
+    """
+    import dataclasses
+
+    from repro.core.config import maco_default_config
+    from repro.serve import AutoscalePolicy, ServeSimulator, bursty_trace, llm_tenants
+
+    variant = "llama-7b@layers=2,prompt=128,decode=32,block=8"
+    config = maco_default_config(num_nodes=4)
+
+    def simulator(policy):
+        return ServeSimulator(
+            config=config, scheduler="fcfs", batching="step", max_batch=4,
+            autoscale=policy)
+
+    probe = simulator(None)
+    tenants = probe.suggest_rates(llm_tenants(2, variant=variant), utilization=1.1)
+    target = 300 if quick else 2_000
+    duration = target / sum(spec.rate_rps for spec in tenants)
+    trace = bursty_trace(tenants, duration_s=duration, seed=7, burst_factor=8.0)
+
+    def run():
+        elastic = simulator(AutoscalePolicy(min_groups=1, max_groups=4))
+        elastic._prepare_services(trace)  # warm the profile memo off-clock
+        start = time.perf_counter()
+        report = elastic.run(trace)
+        return time.perf_counter() - start, report
+
+    elastic_s, elastic_report = _best_of_with(repeat, lambda: run())
+    assert elastic_report.total_requests == len(trace.requests)
+    groups = len(probe.groups)
+    pinned_report = simulator(
+        AutoscalePolicy(min_groups=groups, max_groups=groups)).run(trace)
+    fixed_report = simulator(None).run(trace)
+    parity = (
+        dataclasses.replace(pinned_report, autoscale=None).to_json()
+        == fixed_report.to_json())
+    return {
+        "requests": len(trace.requests),
+        "elastic_s": elastic_s,
+        "scale_events": len(elastic_report.autoscale.events),
+        "node_seconds": elastic_report.autoscale.node_seconds,
+        "requests_per_s": len(trace.requests) / elastic_s,
+        "parity": parity,
+    }
+
+
 def _best_of_with(repeat: int, fn: Callable[[], Tuple[float, int]]) -> Tuple[float, int]:
     """Like :func:`_best_of` for functions returning ``(seconds, payload)``."""
     best = None
@@ -379,6 +436,7 @@ def run_benchmarks(quick: bool = False, repeat: int = 1) -> Dict[str, object]:
         "functional_gemm": bench_functional_gemm(quick, repeat),
         "serve_throughput": bench_serve_throughput(quick, repeat),
         "serve_scale": bench_serve_scale(quick, repeat),
+        "serve_autoscale": bench_serve_autoscale(quick, repeat),
     }
     return {"schema": SCHEMA_VERSION, "quick": quick, "repeat": repeat, "results": results}
 
@@ -399,6 +457,14 @@ def format_report(report: Dict[str, object]) -> str:
                 f"  {name:<24} scalar {result['scalar_s'] * 1e3:8.1f} ms   "
                 f"vectorized {result['vectorized_s'] * 1e3:8.1f} ms   "
                 f"speedup {result['speedup']:6.1f}x   parity {parity}"
+            )
+        elif "node_seconds" in result:
+            parity = "ok" if result.get("parity") else "MISMATCH"
+            lines.append(
+                f"  {name:<24} {result['requests']} requests   "
+                f"elastic {result['requests_per_s']:8.0f} req/s   "
+                f"{result['scale_events']} scale events   "
+                f"node-seconds {result['node_seconds']:8.1f}   parity {parity}"
             )
         elif "requests_per_s" in result:
             lines.append(

@@ -481,16 +481,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.kv_budget is None:
         kv_budget_bytes = None
-    elif args.kv_budget == 0:
-        kv_budget_bytes = float("inf")
+    elif args.kv_budget == "auto":
+        kv_budget_bytes = "auto"
     else:
-        kv_budget_bytes = args.kv_budget * 1e6
+        try:
+            megabytes = float(args.kv_budget)
+        except ValueError:
+            raise ValueError(
+                f"--kv-budget must be a size in MB or 'auto', got {args.kv_budget!r}")
+        kv_budget_bytes = float("inf") if megabytes == 0 else megabytes * 1e6
+    autoscale = None
+    if args.autoscale:
+        from repro.serve import AutoscalePolicy
+
+        if args.batching != "step":
+            raise ValueError("--autoscale needs --batching step")
+        degree = 1
+        if args.parallel is not None:
+            from repro.parallel import ParallelismSpec
+
+            degree = ParallelismSpec.parse(args.parallel).degree
+        min_nodes = args.min_nodes if args.min_nodes is not None else degree
+        max_nodes = args.max_nodes if args.max_nodes is not None else args.nodes
+        for flag, value in (("--min-nodes", min_nodes), ("--max-nodes", max_nodes)):
+            if value % degree:
+                raise ValueError(
+                    f"{flag} ({value}) must be a multiple of the parallelism "
+                    f"group size ({degree})")
+        if not 0 < min_nodes <= max_nodes <= args.nodes:
+            raise ValueError(
+                f"--autoscale needs 0 < --min-nodes <= --max-nodes <= --nodes, "
+                f"got {min_nodes}/{max_nodes}/{args.nodes}")
+        autoscale = AutoscalePolicy(min_groups=min_nodes // degree,
+                                    max_groups=max_nodes // degree)
+    elif args.min_nodes is not None or args.max_nodes is not None:
+        raise ValueError("--min-nodes/--max-nodes only apply with --autoscale")
     config = maco_default_config(num_nodes=args.nodes)
     simulator = ServeSimulator(system=MACOSystem(config), scheduler=args.scheduler,
                                jobs=args.jobs, parallelism=args.parallel,
                                batching=args.batching, max_batch=args.max_batch,
                                kv_budget_bytes=kv_budget_bytes,
-                               preemption=not args.no_preemption)
+                               preemption=not args.no_preemption,
+                               autoscale=autoscale)
     precision = Precision.from_string(args.precision)
     if args.trace == "replay":
         if not args.trace_file:
@@ -804,12 +836,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "continuous batching over workload-graph steps")
     serve.add_argument("--max-batch", type=int, default=8,
                        help="resident requests per server under --batching step")
-    serve.add_argument("--kv-budget", type=float, default=None, metavar="MB",
+    serve.add_argument("--kv-budget", default=None, metavar="MB|auto",
                        help="per-server budget for resident KV state under --batching "
-                            "step, in MB (default 4096; 0 = unlimited)")
+                            "step, in MB (default 4096; 0 = unlimited), or 'auto' to "
+                            "derive it from the DRAM capacity model: the node's "
+                            "capacity share minus the resident sharded model weights")
     serve.add_argument("--no-preemption", action="store_true",
                        help="never evict resident requests under --batching step; the "
                             "KV budget then only gates admission")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="autoscale the fleet between --min-nodes and --max-nodes "
+                            "under --batching step: scale out on sustained queue-depth "
+                            "or SLO pressure, drain idle groups back in; the report "
+                            "gains a fleet timeline and node-second accounting")
+    serve.add_argument("--min-nodes", type=int, default=None, metavar="N",
+                       help="smallest committed fleet under --autoscale, in nodes "
+                            "(default: one parallelism group)")
+    serve.add_argument("--max-nodes", type=int, default=None, metavar="N",
+                       help="largest committed fleet under --autoscale, in nodes "
+                            "(default: --nodes)")
     serve.add_argument("--slo", default=None, metavar="TTFT[:TPOT]",
                        help="TTFT/TPOT targets in seconds applied to every generated "
                             "tenant, e.g. 0.5:0.1 (reported as SLO attainment/goodput; "
@@ -824,10 +869,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for service-time estimation and "
                             "--shards simulation (default: serial)")
     serve.add_argument("--shards", type=int, default=None, metavar="N",
-                       help="split the trace at provable idle points into N shards "
-                            "simulated independently (request-level batching only; "
-                            "the merged report is byte-identical for every N and "
-                            "--jobs setting)")
+                       help="split the trace at provable idle points and simulate the "
+                            "segments independently (request-level shards fan out over "
+                            "--jobs; step-level segments run serially from a cold "
+                            "fleet); the merged report is byte-identical for every N "
+                            "and --jobs setting")
     serve.add_argument("--format", default="table", choices=["table", "json"])
     serve.add_argument("--output", default=None,
                        help="write the report to this file instead of stdout")

@@ -20,6 +20,14 @@ the properties the repo stakes out as exact:
   ``to_json`` reports across schedulers × batching modes × seeds × fleets;
 * ``serve-shards`` — the sharded request-level run merges back to the exact
   single-shard report for any shard count and worker-pool size;
+* ``autoscale-invariants`` — the elastic step-mode fleet stays within
+  ``[min_groups, max_groups]`` at every timeline instant, every scale event
+  conserves capacity (``groups_after == groups_before ± 1``, provisioning
+  delay and drain-stop times well-formed, the fleet timeline reconstructs
+  exactly from the event stream), draining groups admit nothing, sharded and
+  pooled runs are byte-identical to the single-shard report, and a
+  ``min_groups == max_groups`` policy is byte-identical to the fixed-fleet
+  path once the ``autoscale`` section is stripped;
 * ``percentile`` — the ``np.partition`` fast path is bit-identical to the
   sorted nearest-rank reference on either side of the size threshold;
 * ``trace-roundtrip`` — vectorized trace generators match their scalar twins
@@ -404,6 +412,143 @@ def _check_serve_shards(spec: ScenarioSpec) -> None:
         )
 
 
+# ------------------------------------------------------ autoscale-invariants
+def _sample_autoscale_invariants(rng: random.Random) -> ScenarioSpec:
+    max_groups = rng.randint(1, 4)
+    return _spec(
+        "autoscale-invariants",
+        scheduler=rng.choice(["fcfs", "sjf", "rr", "priority", "slo"]),
+        seed=rng.randint(0, 9999),
+        tenants=rng.randint(1, 3),
+        # Reach both regimes: traces that never scale and overloads that
+        # provision to the ceiling and drain back.
+        rate=round(rng.uniform(0.5, 40.0), 2),
+        duration=round(rng.uniform(2.0, 5.0), 2),
+        min_groups=rng.randint(1, max_groups),
+        max_groups=max_groups,
+        max_batch=rng.choice([2, 4]),
+        shards=rng.randint(2, 5),
+        jobs=rng.randint(1, 2),
+    )
+
+
+def _autoscale_fuzz_simulator(spec: ScenarioSpec, policy, jobs: int = 1):
+    from repro.serve import ServeSimulator
+
+    return ServeSimulator(
+        config=_shared_config(4),
+        scheduler=str(spec.param("scheduler")),
+        batching="step",
+        max_batch=int(spec.param("max_batch")),
+        autoscale=policy,
+        jobs=jobs,
+    )
+
+
+def _check_autoscale_invariants(spec: ScenarioSpec) -> None:
+    import dataclasses
+
+    from repro.serve import AutoscalePolicy
+
+    min_groups = int(spec.param("min_groups"))
+    max_groups = int(spec.param("max_groups"))
+    # Tight windows so short fuzz traces can actually trigger decisions.
+    policy = AutoscalePolicy(
+        min_groups=min_groups, max_groups=max_groups, window_s=0.2,
+        sustain_windows=2, cooldown_s=0.5, provision_delay_s=0.25)
+    trace = _serve_trace(spec)
+    simulator = _autoscale_fuzz_simulator(spec, policy)
+    report = simulator.run(trace, shards=None)
+    auto = report.autoscale
+    if auto is None:
+        raise ScenarioFailure("autoscaled run produced no autoscale section")
+
+    for time_s, groups in auto.timeline:
+        if not min_groups <= groups <= max_groups:
+            raise ScenarioFailure(
+                f"fleet timeline leaves [{min_groups}, {max_groups}]: "
+                f"{groups} groups at t={time_s!r}")
+    changes = []
+    for event in auto.events:
+        expected = event.groups_before + (1 if event.direction == "out" else -1)
+        if event.groups_after != expected:
+            raise ScenarioFailure(
+                f"scale event at t={event.time_s!r} does not conserve capacity: "
+                f"{event.groups_before} -> {event.groups_after} ({event.direction})")
+        if not (min_groups <= event.groups_before <= max_groups
+                and min_groups <= event.groups_after <= max_groups):
+            raise ScenarioFailure(
+                f"scale event at t={event.time_s!r} leaves the fleet bounds: "
+                f"{event.groups_before} -> {event.groups_after}")
+        if event.direction == "out":
+            if event.serving_from_s != event.time_s + policy.provision_delay_s:
+                raise ScenarioFailure(
+                    f"scale-out at t={event.time_s!r} serves from "
+                    f"{event.serving_from_s!r}, not after the "
+                    f"{policy.provision_delay_s!r} s provisioning delay")
+            changes.append((event.time_s, 1))
+        else:
+            if event.stopped_s is None or event.stopped_s < event.time_s:
+                raise ScenarioFailure(
+                    f"scale-in at t={event.time_s!r} has drain stop "
+                    f"{event.stopped_s!r} before the decision")
+            changes.append((event.stopped_s, -1))
+    if auto.events:
+        # The committed-fleet timeline must reconstruct exactly from the
+        # event stream (shards=None runs a single cold segment).
+        fleet = min_groups
+        rebuilt = [auto.timeline[0]]
+        for time_s, delta in sorted(changes):
+            fleet += delta
+            rebuilt.append((time_s, fleet))
+        if tuple(rebuilt) != auto.timeline:
+            raise ScenarioFailure(
+                f"fleet timeline {auto.timeline!r} does not reconstruct from "
+                f"the scale events {rebuilt!r}")
+    # Windows tick lazily, so wall timestamps of admissions and decisions can
+    # interleave; the drain's scope is its loop-order slice of the admission
+    # log, which must contain nothing for the draining group.
+    for group_id, start_idx, stop_idx in simulator.last_drains:
+        admitted = [
+            admit_t
+            for admit_t, group in simulator.last_admissions[start_idx:stop_idx]
+            if group == group_id]
+        if admitted:
+            raise ScenarioFailure(
+                f"draining group {group_id} admitted requests at {admitted!r} "
+                "between its drain decision and its stop")
+    drained = sum(1 for event in auto.events if event.direction == "in")
+    if len(simulator.last_drains) != drained:
+        raise ScenarioFailure(
+            f"{drained} scale-in event(s) but {len(simulator.last_drains)} "
+            "recorded drain(s)")
+
+    single = _autoscale_fuzz_simulator(spec, policy).run(trace, shards=1).to_json()
+    sharded = _autoscale_fuzz_simulator(spec, policy).run(
+        trace, shards=int(spec.param("shards"))).to_json()
+    pooled = _autoscale_fuzz_simulator(
+        spec, policy, jobs=int(spec.param("jobs"))).run(
+        trace, shards=int(spec.param("shards"))).to_json()
+    if sharded != single or pooled != single:
+        raise ScenarioFailure(
+            f"autoscaled step run is not byte-identical across "
+            f"shards={spec.param('shards')} jobs={spec.param('jobs')}")
+
+    # A pinned fleet (min == max == every group server) must be byte-identical
+    # to the fixed-fleet path once the autoscale section is stripped.
+    servers = len(simulator.groups)
+    pinned_policy = AutoscalePolicy(
+        min_groups=servers, max_groups=servers, window_s=0.2,
+        sustain_windows=2, cooldown_s=0.5, provision_delay_s=0.25)
+    pinned = _autoscale_fuzz_simulator(spec, pinned_policy).run(trace, shards=None)
+    fixed = _autoscale_fuzz_simulator(spec, None).run(trace, shards=None)
+    if dataclasses.replace(pinned, autoscale=None).to_json() != fixed.to_json():
+        raise ScenarioFailure(
+            "min_groups == max_groups autoscale diverges from the fixed-fleet "
+            f"report (scheduler={spec.param('scheduler')} "
+            f"seed={spec.param('seed')})")
+
+
 # --------------------------------------------------------------- percentile
 def _sample_percentile(rng: random.Random) -> ScenarioSpec:
     # Straddle the vector threshold (1024) so both code paths are sampled.
@@ -521,6 +666,11 @@ SCENARIO_KINDS: Dict[str, _Kind] = {
         _Kind("serve-shards", _sample_serve_shards, _check_serve_shards,
               (("tenants", 2), ("duration", 1.0), ("rate", 1.0), ("jobs", 1),
                ("shards", 2), ("scheduler", "fcfs"))),
+        _Kind("autoscale-invariants", _sample_autoscale_invariants,
+              _check_autoscale_invariants,
+              (("tenants", 1), ("duration", 2.0), ("rate", 4.0),
+               ("max_batch", 2), ("shards", 2), ("jobs", 1),
+               ("scheduler", "fcfs"), ("min_groups", 1))),
         _Kind("percentile", _sample_percentile, _check_percentile,
               (("size", 1), ("scale", 1.0), ("q", 50.0))),
         _Kind("trace-roundtrip", _sample_trace_roundtrip, _check_trace_roundtrip,

@@ -31,7 +31,13 @@ rest on:
   ``max(compute, bcast) + min(compute, bcast) / steps`` closed form versus
   the step-by-step pipeline timeline (prologue broadcast, ``S - 1``
   overlapped steps, epilogue compute) summed independently, with the
-  ``lcm`` step count cross-checked against a gcd-based derivation.
+  ``lcm`` step count cross-checked against a gcd-based derivation;
+* ``autoscale`` — the :class:`~repro.serve.autoscale.Autoscaler` hysteresis
+  state machine replayed over synthetic per-window pressure observations
+  (a bursty scale-out/drain-merge profile and a steady profile that must
+  never scale) versus an independently coded replay of the DESIGN.md
+  section 11 rules, emitting the committed-fleet timeline, the per-window
+  scale delta and the decision reason.
 """
 
 from __future__ import annotations
@@ -410,6 +416,133 @@ def _summa_golden(case: GoldenCase, inputs: dict) -> np.ndarray:
     return np.where(broadcast == 0.0, compute, timeline)
 
 
+# --------------------------------------------------------------- autoscale
+def _autoscale_inputs(case: GoldenCase, rng: np.random.Generator) -> dict:
+    windows = int(case.param("windows"))
+    profile = str(case.param("profile"))
+    quiet = windows // 4
+    if profile == "bursty":
+        # Quiet warmup, a long overload burst (deep queues plus SLO misses),
+        # then an idle tail that forces the controller to drain back down.
+        depth = np.concatenate([
+            rng.integers(0, 2, quiet),
+            rng.integers(10, 40, windows - 2 * quiet),
+            np.zeros(quiet, dtype=np.int64),
+        ])
+        served = rng.integers(1, 5, windows)
+        misses = np.zeros(windows, dtype=np.int64)
+        burst = slice(quiet, windows - quiet)
+        misses[burst] = np.minimum(
+            served[burst], rng.integers(0, 5, windows - 2 * quiet))
+    elif profile == "steady":
+        # Depth pinned inside the hysteresis band for the minimum fleet and
+        # perfect attainment: neither streak may ever reach the sustain gate.
+        depth = rng.integers(2, 4, windows)
+        served = rng.integers(2, 6, windows)
+        misses = np.zeros(windows, dtype=np.int64)
+    else:
+        raise ValueError(f"unknown autoscale profile {profile!r}")
+    return {
+        "depth": depth.astype(np.int64),
+        "served": served.astype(np.int64),
+        "misses": misses.astype(np.int64),
+    }
+
+
+#: Reason codes for the autoscale kernel's third output column.
+_AUTOSCALE_REASONS = {"queue-pressure": 1.0, "slo-pressure": 2.0, "idle": 3.0}
+
+
+def _autoscale_functional(case: GoldenCase, inputs: dict) -> np.ndarray:
+    from repro.serve.autoscale import AutoscalePolicy, Autoscaler, WindowStats
+
+    policy = AutoscalePolicy(
+        min_groups=int(case.param("min_groups")),
+        max_groups=int(case.param("max_groups")),
+        window_s=1.0,
+        sustain_windows=int(case.param("sustain")),
+        scale_out_queue_depth=float(case.param("out_depth")),
+        scale_out_attainment=float(case.param("attainment")),
+        scale_in_queue_depth=float(case.param("in_depth")),
+        cooldown_s=float(case.param("cooldown_w")),
+        provision_delay_s=0.5,
+    )
+    scaler = Autoscaler(policy)
+    committed = policy.min_groups
+    rows = []
+    for window, (depth, served, misses) in enumerate(
+            zip(inputs["depth"], inputs["served"], inputs["misses"])):
+        stats = WindowStats(int(depth), int(served), int(misses))
+        decision = scaler.evaluate(float(window + 1), stats, committed, 0)
+        delta, code = 0, 0.0
+        if decision is not None:
+            direction, reason = decision
+            delta = 1 if direction == "out" else -1
+            code = _AUTOSCALE_REASONS[reason]
+            committed += delta
+        if not policy.min_groups <= committed <= policy.max_groups:
+            raise GoldenMismatch(
+                f"{case.name}: committed fleet {committed} escaped "
+                f"[{policy.min_groups}, {policy.max_groups}] at window {window}"
+            )
+        rows.append([float(committed), float(delta), code])
+    deltas = [row[1] for row in rows]
+    profile = str(case.param("profile"))
+    if profile == "steady" and any(deltas):
+        raise GoldenMismatch(f"{case.name}: steady profile produced scale events")
+    if profile == "bursty" and (1.0 not in deltas or -1.0 not in deltas):
+        raise GoldenMismatch(
+            f"{case.name}: bursty profile must both scale out and drain back in"
+        )
+    return np.asarray(rows, dtype=np.float64)
+
+
+def _autoscale_golden(case: GoldenCase, inputs: dict) -> np.ndarray:
+    # An independently coded replay of the DESIGN.md section 11 rules: streaks
+    # advance on every window, decisions gate on the sustain count, capacity
+    # bounds and the cooldown clock, and any decision resets both.
+    min_groups = int(case.param("min_groups"))
+    max_groups = int(case.param("max_groups"))
+    sustain = int(case.param("sustain"))
+    cooldown = float(case.param("cooldown_w"))
+    out_depth = float(case.param("out_depth"))
+    in_depth = float(case.param("in_depth"))
+    target = float(case.param("attainment"))
+    committed = min_groups
+    out_streak = slo_streak = in_streak = 0
+    cooldown_until = -np.inf
+    rows = []
+    for window, (depth, served, misses) in enumerate(
+            zip(inputs["depth"], inputs["served"], inputs["misses"])):
+        now = float(window + 1)
+        pressured = depth > out_depth * committed
+        degraded = served > 0 and (served - misses) / served < target
+        if pressured or degraded:
+            out_streak += 1
+            slo_streak = slo_streak + 1 if degraded else 0
+            in_streak = 0
+        elif depth <= in_depth * committed:
+            in_streak += 1
+            out_streak = slo_streak = 0
+        else:
+            out_streak = slo_streak = in_streak = 0
+        delta, code = 0, 0.0
+        if now >= cooldown_until:
+            if out_streak >= sustain:
+                if committed < max_groups:
+                    delta = 1
+                    code = 2.0 if slo_streak >= sustain else 1.0
+            elif in_streak >= sustain and committed > min_groups:
+                delta = -1
+                code = 3.0
+            if delta:
+                committed += delta
+                out_streak = slo_streak = in_streak = 0
+                cooldown_until = now + cooldown
+        rows.append([float(committed), float(delta), code])
+    return np.asarray(rows, dtype=np.float64)
+
+
 KERNELS: Dict[str, KernelDef] = {
     kernel.name: kernel
     for kernel in (
@@ -420,6 +553,7 @@ KERNELS: Dict[str, KernelDef] = {
         KernelDef("wavefront", _wavefront_inputs, _wavefront_functional, _wavefront_golden),
         KernelDef("gemm-plus", _gemm_plus_inputs, _gemm_plus_functional, _gemm_plus_golden),
         KernelDef("summa-pipeline", _summa_inputs, _summa_functional, _summa_golden),
+        KernelDef("autoscale", _autoscale_inputs, _autoscale_functional, _autoscale_golden),
     )
 }
 
@@ -487,5 +621,17 @@ def default_corpus() -> List[GoldenCase]:
     cases.append(_case(
         "summa-pipeline-3x3", "summa-pipeline", 811,
         {"rows": 3, "cols": 3, "count": 48, "precision": "fp64"},
+    ))
+    cases.append(_case(
+        "autoscale-bursty", "autoscale", 907,
+        {"windows": 48, "min_groups": 1, "max_groups": 4, "sustain": 2,
+         "cooldown_w": 3.0, "out_depth": 4.0, "in_depth": 0.5,
+         "attainment": 0.9, "profile": "bursty", "precision": "fp64"},
+    ))
+    cases.append(_case(
+        "autoscale-steady", "autoscale", 911,
+        {"windows": 48, "min_groups": 2, "max_groups": 4, "sustain": 2,
+         "cooldown_w": 2.0, "out_depth": 4.0, "in_depth": 0.5,
+         "attainment": 0.9, "profile": "steady", "precision": "fp64"},
     ))
     return cases

@@ -10,7 +10,11 @@ round-robin per tenant, priority tiers, SLO-aware EDF),
 iteration-level continuous batching with a paged KV budget and preemption —
 and :mod:`repro.serve.report` aggregates per-tenant and fleet-wide
 throughput, utilization, queue depth, p50/p95/p99 latency, TTFT/TPOT
-percentiles, SLO attainment and goodput.
+percentiles, SLO attainment and goodput.  :mod:`repro.serve.autoscale` adds
+the elastic-fleet pieces: a windowed hysteresis autoscaler that grows and
+shrinks the committed node groups against the trace, and a per-node KV
+budget derived from the DRAM capacity model minus the resident (sharded)
+model weights.
 
 Typical use (also exposed as ``python -m repro.cli serve``)::
 
@@ -24,6 +28,15 @@ Typical use (also exposed as ``python -m repro.cli serve``)::
     print(report.render())
 """
 
+from repro.serve.autoscale import (
+    AutoscalePolicy,
+    Autoscaler,
+    AutoscaleStats,
+    KVBudget,
+    ScaleEvent,
+    WindowStats,
+    derive_kv_budget,
+)
 from repro.serve.engine import ENGINE_NAMES
 from repro.serve.report import (
     NodeStats,
@@ -94,6 +107,13 @@ __all__ = [
     "estimate_service_seconds",
     "TENANT_SWITCH_FLUSH_CYCLES",
     "DEFAULT_KV_BUDGET_BYTES",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "WindowStats",
+    "ScaleEvent",
+    "AutoscaleStats",
+    "KVBudget",
+    "derive_kv_budget",
     "ENGINE_NAMES",
     "TenantStats",
     "NodeStats",

@@ -24,11 +24,12 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import latency_summary, render_table
+from repro.serve.autoscale import AutoscaleStats
 
 __all__ = [
     "TenantStats",
@@ -122,6 +123,10 @@ class ServeReport:
     preemptions: int = 0
     tenants: List[TenantStats] = field(default_factory=list)
     nodes: List[NodeStats] = field(default_factory=list)
+    #: Populated only by autoscaled runs (``None`` keeps fixed-fleet reports
+    #: byte-identical to their pre-autoscale form, and lets the min==max
+    #: neutrality check compare ``replace(report, autoscale=None)`` strings).
+    autoscale: Optional[AutoscaleStats] = None
 
     @property
     def mean_utilization(self) -> float:
@@ -185,6 +190,14 @@ class ServeReport:
              f"max {self.queue_depth_max} | context-switch time {self.context_switch_s * 1e3:.3f} ms"
              f" | preemptions {self.preemptions}"),
         ]
+        if self.autoscale is not None:
+            auto = self.autoscale
+            sections.append(
+                f"autoscale: {auto.min_groups}..{auto.max_groups} groups of "
+                f"{auto.nodes_per_group} node(s), {len(auto.events)} scale events, "
+                f"{auto.node_seconds:.3f} node-seconds, goodput "
+                f"{auto.goodput_per_node_second:.3f} req/node-s "
+                f"(provisioning delay {auto.provision_delay_s:.2f} s)")
         return "\n\n".join(sections)
 
 
@@ -197,6 +210,7 @@ def build_report(
     queue_depth_mean: float,
     queue_depth_max: int,
     batching: str = "request",
+    autoscale: Optional[AutoscaleStats] = None,
 ) -> ServeReport:
     """Assemble a :class:`ServeReport` from raw per-request completion records.
 
@@ -274,6 +288,7 @@ def build_report(
         preemptions=sum(int(entry.get("preemptions", 0)) for entry in completions),
         tenants=tenants,
         nodes=list(node_stats),
+        autoscale=autoscale,
     )
 
 

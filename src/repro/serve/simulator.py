@@ -28,6 +28,17 @@ Two execution models coexist (``batching=``):
   to the request model, and the simulator takes that exact code path so the
   reports agree byte for byte.
 
+With ``autoscale=`` (an :class:`~repro.serve.autoscale.AutoscalePolicy`) the
+step loop additionally runs a fleet lifecycle: group servers are committed and
+drained by a windowed hysteresis controller, new capacity pays a modeled
+provisioning delay before it serves, and the report gains an
+:class:`~repro.serve.autoscale.AutoscaleStats` section (fleet-size timeline,
+scale events, node-seconds, goodput per node-second).  The per-server KV
+budget can also be derived from the hardware instead of hand-picked:
+``kv_budget_bytes="auto"`` sizes it as the node's DRAM capacity share minus
+the resident (sharded) model weights — see
+:func:`~repro.serve.autoscale.derive_kv_budget`.
+
 Two fidelities also coexist (see docs/ARCHITECTURE.md): the event loop itself
 uses the analytic timing model — simulating a million-request trace is cheap —
 and :meth:`ServeSimulator.functional_smoke` pushes a handful of small GEMMs
@@ -67,9 +78,19 @@ from repro.serve.engine import (
     shard_worker,
     simulate_segments,
 )
+from repro.serve.autoscale import (
+    AutoscalePolicy,
+    Autoscaler,
+    AutoscaleStats,
+    KVBudget,
+    ScaleEvent,
+    WindowStats,
+    derive_kv_budget,
+)
 from repro.serve.report import (
     NodeStats,
     ServeReport,
+    _slo_met,
     build_report,
     build_report_from_columns,
 )
@@ -95,10 +116,12 @@ TENANT_SWITCH_FLUSH_CYCLES = 1024
 
 #: Default per-server budget for resident serving state (the paged KV cache)
 #: in step-batching mode: 4 GiB of the node's DDR, a conservative slice that
-#: leaves the rest for weights and activations.  The MACO config carries no
-#: per-node capacity (the DRAM model is bandwidth-only), so this is a serving
-#: policy knob, not a hardware parameter — override it per run with
-#: ``kv_budget_bytes`` / ``--kv-budget``.  See DESIGN.md section 8.
+#: leaves the rest for weights and activations.  This is a serving policy
+#: knob; to size the budget from the modeled hardware instead, pass
+#: ``kv_budget_bytes="auto"`` (``--kv-budget auto``), which subtracts the
+#: resident sharded model weights from the node's share of
+#: :attr:`~repro.mem.dram.DRAMConfig.total_capacity_bytes` — see
+#: :func:`~repro.serve.autoscale.derive_kv_budget` and DESIGN.md section 8.
 DEFAULT_KV_BUDGET_BYTES = 4 << 30
 
 
@@ -369,6 +392,15 @@ class _NodeState:
 
     Step mode: ``free_at`` is the server's iteration clock — the instant its
     next batch iteration starts — and ``batch`` holds the resident requests.
+
+    The lifecycle fields only move under autoscaling: ``committed`` says the
+    group currently occupies its nodes (serving, provisioning or draining —
+    it accrues node-seconds), ``draining`` that it stopped admitting and
+    stops once its residents finish, ``serving_since`` when its current
+    commitment began, and ``pending_stop`` the in-flight scale-in event whose
+    ``stopped_s`` is filled when the drain completes.  A fixed fleet keeps
+    every server committed, so the event loop's float arithmetic is
+    unchanged.
     """
 
     node_id: int
@@ -381,6 +413,10 @@ class _NodeState:
     preemptions: int = 0
     last_tenant: Optional[str] = None
     batch: List["_RunningRequest"] = field(default_factory=list)
+    committed: bool = True
+    draining: bool = False
+    serving_since: float = 0.0
+    pending_stop: Optional[dict] = None
 
 
 @dataclass(slots=True)
@@ -417,8 +453,19 @@ class ServeSimulator:
     iteration-level continuous-batching loop with up to ``max_batch``
     resident requests per server, a paged-KV budget of ``kv_budget_bytes``
     per server (``None`` means :data:`DEFAULT_KV_BUDGET_BYTES`;
-    ``float("inf")`` disables the budget), and — unless ``preemption`` is
-    off — policy-selected eviction when the resident state outgrows it.
+    ``float("inf")`` disables the budget; ``"auto"`` derives it from the DRAM
+    capacity model at run time — see :meth:`resolved_kv_budget`), and —
+    unless ``preemption`` is off — policy-selected eviction when the
+    resident state outgrows it.
+
+    ``autoscale`` (an :class:`~repro.serve.autoscale.AutoscalePolicy`;
+    step batching only) turns the fixed fleet into an elastic one: the run
+    starts with ``min_groups`` committed group servers and a windowed
+    hysteresis controller commits or drains groups against queue-depth and
+    SLO-attainment pressure, within ``[min_groups, max_groups]``.  With
+    ``min_groups == max_groups`` the controller can never act and the report
+    matches the fixed-fleet run byte for byte apart from its ``autoscale``
+    section.
 
     ``parallelism`` (``"tp:4"``-style, see :mod:`repro.parallel`) shards
     every request across a node *group* instead of serving it on one node:
@@ -446,9 +493,10 @@ class ServeSimulator:
         parallelism: Optional[str] = None,
         batching: str = "request",
         max_batch: int = 8,
-        kv_budget_bytes: Optional[float] = None,
+        kv_budget_bytes: Optional[object] = None,
         preemption: bool = True,
         engine: str = "array",
+        autoscale: Optional[AutoscalePolicy] = None,
     ) -> None:
         if system is not None and config is not None:
             raise ValueError("pass either a system or a config, not both")
@@ -460,9 +508,22 @@ class ServeSimulator:
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
         if kv_budget_bytes is None:
+            self._kv_budget_source = "default"
             kv_budget_bytes = DEFAULT_KV_BUDGET_BYTES
-        if not kv_budget_bytes > 0:
-            raise ValueError(f"kv_budget_bytes must be positive, got {kv_budget_bytes}")
+        elif isinstance(kv_budget_bytes, str):
+            if kv_budget_bytes != "auto":
+                raise ValueError(
+                    f"kv_budget_bytes must be a byte count or 'auto', "
+                    f"got {kv_budget_bytes!r}")
+            self._kv_budget_source = "auto"
+        else:
+            if not kv_budget_bytes > 0:
+                raise ValueError(f"kv_budget_bytes must be positive, got {kv_budget_bytes}")
+            self._kv_budget_source = "explicit"
+        if autoscale is not None and batching != "step":
+            raise ValueError(
+                "autoscale needs batching='step'; the fleet lifecycle lives in "
+                "the step-batching event loop")
         if system is None:
             system = MACOSystem(config if config is not None else maco_default_config())
         self.system = system
@@ -482,6 +543,18 @@ class ServeSimulator:
             spec = ParallelismSpec.parse(parallelism)
             self.parallelism = str(spec)
             self.groups = node_groups(self.system.num_nodes, spec.degree)
+        if autoscale is not None and autoscale.max_groups > len(self.groups):
+            raise ValueError(
+                f"autoscale max_groups ({autoscale.max_groups}) exceeds the "
+                f"fleet's {len(self.groups)} group server(s)")
+        self.autoscale = autoscale
+        #: ``(admit_time_s, group_server_id)`` per step-mode admission of the
+        #: most recent run, plus each drain's ``(group_server_id, start, stop)``
+        #: slice into that log — diagnostics for the invariant checks
+        #: (windows tick lazily, so loop order, not timestamps, scopes a
+        #: drain), never part of the report.
+        self.last_admissions: List[Tuple[float, int]] = []
+        self.last_drains: List[Tuple[int, int, int]] = []
         self._services: Dict[Tuple[str, Precision, int], ServiceProfile] = {}
         # One serving process per (node, tenant): created lazily through the
         # node CPU's ProcessManager so ASIDs and switch accounting are real.
@@ -676,26 +749,27 @@ class ServeSimulator:
         tie-breaks in both loops are deterministic, so identical traces yield
         bit-identical reports.
 
-        ``shards`` (request-level only) cuts the trace at provable full-idle
-        points and simulates the resulting segments independently, fanned out
-        over the runner's worker pool.  Each segment restarts with a cold
-        fleet — a tenant switch across a provable idle gap overlaps the idle
-        time, so it is absorbed rather than charged — and the cut points
-        depend only on the trace, so the report is byte-identical for every
-        shard count and every ``jobs`` setting.  ``shards=None`` (the
-        default) runs the trace unsegmented: the exact legacy continuous
-        semantics, where an idle gap keeps the last tenant resident.
+        ``shards`` cuts the trace at full-idle points and simulates the
+        resulting segments independently.  On the request-level path the cut
+        points are provable idle instants and the segments fan out over the
+        runner's worker pool; on the step-batching path the cuts come from a
+        conservative serial-drain bound (see :meth:`_step_segment_bounds`)
+        and the segments run serially — the loop is float-valued, so merging
+        is only exact when every segment starts cold.  In both cases each
+        segment restarts with a cold fleet and the cut points depend only on
+        the trace — never on the shard count — so the report is
+        byte-identical for every ``shards >= 1`` and every ``jobs`` setting.
+        ``shards=None`` (the default) runs the trace unsegmented: the exact
+        legacy continuous semantics, where an idle gap keeps the last tenant
+        resident.
         """
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        if self.batching == "request" or (self.max_batch == 1 and not self.preemption):
+        if self.batching == "request" or (
+            self.max_batch == 1 and not self.preemption and self.autoscale is None
+        ):
             return self._run_request_level(trace, shards)
-        if shards is not None:
-            raise ValueError(
-                "shards needs the request-level engine; the step-batching loop "
-                "is stateful across the whole trace (batching='request', or "
-                "max_batch=1 with preemption off)")
-        return self._run_step_level(trace)
+        return self._run_step_level(trace, shards)
 
     def _engine_trace(self, columns: TraceColumns) -> Tuple[EngineTrace, Optional[np.ndarray]]:
         """Lower a columnar trace to the engine's tick arrays.
@@ -847,7 +921,73 @@ class ServeSimulator:
             batching=self.batching,
         )
 
-    def _run_step_level(self, trace: RequestTrace) -> ServeReport:
+    def resolved_kv_budget(self, trace: RequestTrace) -> KVBudget:
+        """The per-server KV budget the step loop will enforce, with provenance.
+
+        ``"auto"`` budgets resolve against the trace (the resident weights
+        depend on which workloads it serves): the node's DRAM capacity share
+        minus the largest sharded weight share among the trace's distinct
+        ``(workload, precision)`` pairs — see
+        :func:`~repro.serve.autoscale.derive_kv_budget`.  Default and
+        explicit budgets pass through unchanged.
+        """
+        if self._kv_budget_source != "auto":
+            return KVBudget(
+                budget_bytes=float(self.kv_budget_bytes),
+                source=self._kv_budget_source)
+        pairs = sorted(
+            {(request.workload, request.precision) for request in trace},
+            key=lambda pair: (pair[0], pair[1].name))
+        if not pairs:
+            return KVBudget(budget_bytes=float(DEFAULT_KV_BUDGET_BYTES), source="auto")
+        return derive_kv_budget(
+            self.system.config, pairs,
+            sharers=len(self.groups[0]), num_nodes=self.system.num_nodes)
+
+    def _step_segment_bounds(
+        self, arrivals: List[Request], restore_bandwidth: float
+    ) -> List[int]:
+        """Cut indices where the step-batching fleet is certainly idle.
+
+        A conservative serial-drain bound, the step-mode analogue of
+        :func:`repro.serve.engine.segment_bounds`: charge every request its
+        worst-case solo cost on the slowest server — full latency, a tenant
+        switch, one KV restore of its peak state — and drain the trace one
+        request at a time (``bound = max(bound, arrival) + worst``).  Where
+        the bound dies out before the next arrival the fleet must be idle, so
+        the trace can be cut there.  The bound assumes at most one restore
+        per request, so it is a heuristic under heavy preemption churn; what
+        the sharding contract guarantees is determinism, not equivalence to
+        the continuous run — the cut set is a pure function of the trace,
+        never of the shard count, so the merged report is byte-identical for
+        every ``shards >= 1``.
+        """
+        pairs = sorted(
+            {(request.workload, request.precision) for request in arrivals},
+            key=lambda pair: (pair[0], pair[1].name))
+        servers = range(self.num_servers) if self.parallelism is not None else (0,)
+        worst = 0.0
+        for workload, precision in pairs:
+            for server in servers:
+                profile = self.service_profile(workload, precision, server)
+                worst = max(
+                    worst,
+                    profile.latency_s + profile.peak_state_bytes / restore_bandwidth)
+        node = self.system.node(self.groups[0][0])
+        worst += (
+            node.cpu.processes.CONTEXT_SWITCH_CYCLES + TENANT_SWITCH_FLUSH_CYCLES
+        ) / node.cpu.frequency_hz
+        cuts: List[int] = []
+        bound = -math.inf
+        for position, request in enumerate(arrivals):
+            if position and bound < request.arrival_s:
+                cuts.append(position)
+            bound = max(bound, request.arrival_s) + worst
+        return cuts
+
+    def _run_step_level(
+        self, trace: RequestTrace, shards: Optional[int] = None
+    ) -> ServeReport:
         """Iteration-level continuous batching with KV paging and preemption.
 
         Each server holds a running batch of up to ``max_batch`` requests and
@@ -866,13 +1006,29 @@ class ServeSimulator:
         off the budget still gates admission but resident requests are never
         evicted.  Every choice ties-breaks on ``(arrival, id)``, so the loop
         is deterministic.
+
+        ``shards`` cuts the trace at conservative full-idle points
+        (:meth:`_step_segment_bounds`) and runs every segment cold, so the
+        report is byte-identical for each shard count; ``shards=None`` keeps
+        the exact continuous semantics.  Under ``autoscale`` each segment
+        starts back at ``min_groups`` committed groups with a fresh
+        controller, and the report's
+        :class:`~repro.serve.autoscale.AutoscaleStats` concatenates the
+        per-segment scale events and fleet-timeline entries.
         """
         self._prepare_services(trace)
+        # Diagnostic only (never part of the report): every step-mode
+        # admission as ``(admit_time_s, group_server_id)`` and every drain's
+        # slice of that log, so the fuzz layer can assert that draining
+        # groups admit nothing.
+        self.last_admissions = []
+        self.last_drains = []
         policy: BatchingPolicy = scheduler_by_name(
             self.scheduler_name,
             estimator=lambda request: self.service_seconds(request.workload, request.precision),
         )
-        budget = self.kv_budget_bytes
+        kv = self.resolved_kv_budget(trace)
+        budget = kv.budget_bytes
         servers = range(self.num_servers) if self.parallelism is not None else (0,)
         for workload, precision in sorted(
             {(request.workload, request.precision) for request in trace},
@@ -881,6 +1037,13 @@ class ServeSimulator:
             for server in servers:
                 peak = self.service_profile(workload, precision, server).peak_state_bytes
                 if peak > budget:
+                    if kv.source == "auto":
+                        raise ValueError(
+                            f"workload {workload!r} needs {peak / 1e6:.1f} MB of "
+                            f"resident state but the per-server KV budget is "
+                            f"{kv.describe()}; widen the parallelism group or "
+                            "grow DRAMConfig.channel_capacity_bytes - a request "
+                            "must fit alone")
                     raise ValueError(
                         f"workload {workload!r} needs {peak / 1e6:.1f} MB of resident state "
                         f"but the per-server KV budget is {budget / 1e6:.1f} MB; "
@@ -892,49 +1055,214 @@ class ServeSimulator:
         states = [_NodeState(node_id=index) for index in range(self.num_servers)]
         arrivals: List[Request] = sorted(
             trace.requests, key=lambda request: (request.arrival_s, request.request_id))
+        if not arrivals:
+            segments: List[List[Request]] = []
+        elif shards is None:
+            segments = [arrivals]
+        else:
+            bounds = [0] + self._step_segment_bounds(arrivals, restore_bandwidth)
+            bounds.append(len(arrivals))
+            segments = [arrivals[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+
         runtimes: Dict[int, _RunningRequest] = {}
         completions: List[dict] = []
+        tally: Dict[str, float] = {
+            "last_event_t": 0.0,
+            "depth_area": 0.0,
+            "depth_max": 0,
+            "group_seconds": 0.0,
+        }
+        events: List[dict] = []
+        timeline: List[Tuple[float, int]] = []
+        for segment in segments:
+            self._simulate_step_segment(
+                segment, policy, states, budget, restore_bandwidth,
+                runtimes, completions, tally, events, timeline)
+
+        makespan = max((entry["finish_s"] for entry in completions), default=0.0)
+        autoscale_stats = None
+        if self.autoscale is not None:
+            nodes_per_group = len(self.groups[0])
+            node_seconds = tally["group_seconds"] * nodes_per_group
+            met = sum(1 for entry in completions if _slo_met(entry))
+            autoscale_stats = AutoscaleStats(
+                min_groups=self.autoscale.min_groups,
+                max_groups=self.autoscale.max_groups,
+                nodes_per_group=nodes_per_group,
+                provision_delay_s=self.autoscale.provision_delay_s,
+                node_seconds=node_seconds,
+                goodput_per_node_second=met / node_seconds if node_seconds else 0.0,
+                events=tuple(ScaleEvent(**event) for event in events),
+                timeline=tuple(timeline),
+            )
+        return self._build_report(
+            trace, states, completions, tally["depth_area"],
+            int(tally["depth_max"]), makespan, autoscale=autoscale_stats)
+
+    def _simulate_step_segment(
+        self,
+        segment: List[Request],
+        policy: BatchingPolicy,
+        states: List[_NodeState],
+        budget: float,
+        restore_bandwidth: float,
+        runtimes: Dict[int, _RunningRequest],
+        completions: List[dict],
+        tally: Dict[str, float],
+        events: List[dict],
+        timeline: List[Tuple[float, int]],
+    ) -> None:
+        """Run one cold-start segment of the step-batching event loop.
+
+        The fleet starts idle — empty batches, no resident tenants, the
+        autoscaled fleet back at ``min_groups`` with a fresh controller.
+        Per-node accumulators and ``tally`` (queue-depth area/max, committed
+        group-seconds) carry across segments; completions, scale events and
+        fleet-timeline entries are appended in place.
+        """
+        apolicy = self.autoscale
+        scaler = Autoscaler(apolicy) if apolicy is not None else None
+        seg_start = segment[0].arrival_s
+        for state in states:
+            state.free_at = 0.0
+            state.last_tenant = None
+            state.draining = False
+            state.pending_stop = None
+            state.committed = apolicy is None or state.node_id < apolicy.min_groups
+            state.serving_since = seg_start
+        seg_changes: List[Tuple[float, int]] = []
+        drain_marks: Dict[int, int] = {}
+        next_window_end = seg_start + (apolicy.window_s if apolicy is not None else 0.0)
+        window_depth_peak = 0
+        window_served = 0
+        window_misses = 0
         index = 0
-        last_event_t = 0.0
-        depth_area = 0.0
-        depth_max = 0
 
         def advance(now: float, extra_queued: int = 0) -> None:
-            nonlocal last_event_t, depth_area
-            if now > last_event_t:
-                depth_area += (len(policy) + extra_queued) * (now - last_event_t)
-                last_event_t = now
+            if now > tally["last_event_t"]:
+                tally["depth_area"] += (
+                    (len(policy) + extra_queued) * (now - tally["last_event_t"]))
+                tally["last_event_t"] = now
 
         def push(request: Request) -> None:
-            nonlocal depth_max
+            nonlocal window_depth_peak
             policy.push(request)
-            depth_max = max(depth_max, len(policy))
+            depth = len(policy)
+            if depth > tally["depth_max"]:
+                tally["depth_max"] = depth
+            if depth > window_depth_peak:
+                window_depth_peak = depth
 
-        while index < len(arrivals) or len(policy) or any(s.batch for s in states):
+        def stop_group(state: _NodeState, stopped: float, event: dict) -> None:
+            # The drained group's capacity merges back into the pool: it
+            # stops accruing node-seconds and becomes eligible for a future
+            # scale-out (which re-provisions it from scratch).
+            event["stopped_s"] = stopped
+            tally["group_seconds"] += stopped - state.serving_since
+            state.committed = False
+            state.draining = False
+            state.pending_stop = None
+            mark = drain_marks.pop(state.node_id, len(self.last_admissions))
+            self.last_drains.append(
+                (state.node_id, mark, len(self.last_admissions)))
+            seg_changes.append((stopped, -1))
+
+        def tick(now: float) -> None:
+            """Evaluate every pressure window that has elapsed by ``now``."""
+            nonlocal next_window_end, window_depth_peak, window_served, window_misses
+            if scaler is None:
+                return
+            while next_window_end <= now:
+                t = next_window_end
+                if len(policy) > window_depth_peak:
+                    window_depth_peak = len(policy)
+                committed = [s for s in states if s.committed]
+                draining = sum(1 for s in committed if s.draining)
+                decision = scaler.evaluate(
+                    t,
+                    WindowStats(
+                        queue_depth_peak=window_depth_peak,
+                        served=window_served,
+                        slo_misses=window_misses),
+                    len(committed),
+                    draining)
+                if decision is not None:
+                    direction, reason = decision
+                    event = {
+                        "time_s": t,
+                        "direction": direction,
+                        "reason": reason,
+                        "groups_before": len(committed),
+                        "groups_after": (
+                            len(committed) + (1 if direction == "out" else -1)),
+                        "queue_depth": window_depth_peak,
+                        "group_id": None,
+                        "serving_from_s": None,
+                        "stopped_s": None,
+                    }
+                    events.append(event)
+                    if direction == "out":
+                        target = min(
+                            (s for s in states if not s.committed),
+                            key=lambda s: s.node_id)
+                        target.committed = True
+                        target.draining = False
+                        # A fresh provision: no resident tenant, and it can
+                        # serve only after the provisioning delay.
+                        target.last_tenant = None
+                        target.free_at = t + apolicy.provision_delay_s
+                        target.serving_since = t
+                        event["group_id"] = target.node_id
+                        event["serving_from_s"] = target.free_at
+                        seg_changes.append((t, 1))
+                    else:
+                        victim = min(
+                            (s for s in committed if not s.draining),
+                            key=lambda s: (len(s.batch), -s.node_id))
+                        event["group_id"] = victim.node_id
+                        if victim.batch:
+                            victim.draining = True
+                            victim.pending_stop = event
+                            drain_marks[victim.node_id] = len(self.last_admissions)
+                        else:
+                            stop_group(victim, max(t, victim.free_at), event)
+                window_depth_peak = 0
+                window_served = 0
+                window_misses = 0
+                next_window_end += apolicy.window_s
+
+        while index < len(segment) or len(policy) or any(s.batch for s in states):
             busy = [s for s in states if s.batch]
             if len(policy):
-                candidates = states
+                candidates = [
+                    s for s in states if s.batch or (s.committed and not s.draining)]
             elif busy:
                 candidates = busy
             else:
                 # Globally idle: jump to the next arrival instant (admit ties
                 # too) without touching any server clock — the admitting
-                # server backdates its clock to the arrival below.
-                now = arrivals[index].arrival_s
-                while index < len(arrivals) and arrivals[index].arrival_s <= now:
-                    advance(arrivals[index].arrival_s)
-                    push(arrivals[index])
+                # server backdates its clock to the arrival below.  Windows
+                # elapsing across the gap still tick, so an idle fleet can
+                # scale in.
+                now = segment[index].arrival_s
+                tick(now)
+                while index < len(segment) and segment[index].arrival_s <= now:
+                    advance(segment[index].arrival_s)
+                    push(segment[index])
                     index += 1
                 continue
             state = min(candidates, key=lambda s: (s.free_at, s.node_id))
+            tick(state.free_at)
             # Feed the waiting queue with everything that has arrived by this
             # server's clock.
-            while index < len(arrivals) and arrivals[index].arrival_s <= state.free_at:
-                advance(arrivals[index].arrival_s)
-                push(arrivals[index])
+            while index < len(segment) and segment[index].arrival_s <= state.free_at:
+                advance(segment[index].arrival_s)
+                push(segment[index])
                 index += 1
             # --- admission: policy order, head-of-line, between iterations.
-            while len(policy) and len(state.batch) < self.max_batch:
+            # A draining group stops admitting; its residents run to completion.
+            while (not state.draining and len(policy)
+                   and len(state.batch) < self.max_batch):
                 head = policy.peek()
                 if state.batch and head.arrival_s > state.free_at:
                     break  # not yet arrived from this server's perspective
@@ -947,6 +1275,7 @@ class ServeSimulator:
                     break  # no room in the KV budget; wait for completions
                 request = policy.pop()
                 admit_t = max(state.free_at, request.arrival_s)
+                self.last_admissions.append((admit_t, state.node_id))
                 # The popped request stays logically queued until admission.
                 advance(admit_t, extra_queued=1)
                 if not state.batch:
@@ -1005,7 +1334,7 @@ class ServeSimulator:
                     state.completed += 1
                     del runtimes[member.request.request_id]
                     tokens = member.profile.total_tokens
-                    completions.append({
+                    entry = {
                         "tenant": member.request.tenant,
                         "arrival_s": member.request.arrival_s,
                         "start_s": member.start_s,
@@ -1018,14 +1347,31 @@ class ServeSimulator:
                         "ttft_slo_s": member.request.ttft_slo_s,
                         "tpot_slo_s": member.request.tpot_slo_s,
                         "preemptions": member.preemptions,
-                    })
+                    }
+                    completions.append(entry)
+                    if scaler is not None:
+                        window_served += 1
+                        if not _slo_met(entry):
+                            window_misses += 1
             state.free_at = max(stage_clock.values())
             state.busy_s += state.free_at - iteration_start
+            if state.draining and not state.batch:
+                # The last resident finished: the drain completes at the end
+                # of this iteration and the capacity merges back.
+                stop_group(state, state.free_at, state.pending_stop)
 
-        makespan = max((entry["finish_s"] for entry in completions), default=0.0)
-        advance(makespan)
-        return self._build_report(trace, states, completions,
-                                  depth_area, depth_max, makespan)
+        if apolicy is not None:
+            seg_end = max(
+                entry["finish_s"]
+                for entry in completions[-len(segment):])
+            for state in states:
+                if state.committed:
+                    tally["group_seconds"] += seg_end - state.serving_since
+            fleet = apolicy.min_groups
+            timeline.append((seg_start, fleet))
+            for time_s, delta in sorted(seg_changes):
+                fleet += delta
+                timeline.append((time_s, fleet))
 
     def _build_report(
         self,
@@ -1035,6 +1381,7 @@ class ServeSimulator:
         depth_area: float,
         depth_max: int,
         makespan: float,
+        autoscale: Optional[AutoscaleStats] = None,
     ) -> ServeReport:
         """Fold the loop's bookkeeping into the :class:`ServeReport`."""
         node_stats = [
@@ -1058,6 +1405,7 @@ class ServeSimulator:
             queue_depth_mean=depth_area / makespan if makespan else 0.0,
             queue_depth_max=depth_max,
             batching=self.batching,
+            autoscale=autoscale,
         )
 
     # ------------------------------------------------------- functional check

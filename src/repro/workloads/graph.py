@@ -71,6 +71,7 @@ class Phase:
     step: int = 0
     state_bytes: int = 0
     tokens: int = 0
+    weight_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.shapes:
@@ -81,6 +82,8 @@ class Phase:
             raise ValueError(f"phase {self.name!r}: work and state cannot be negative")
         if self.step < 0 or self.tokens < 0:
             raise ValueError(f"phase {self.name!r}: step and tokens cannot be negative")
+        if self.weight_bytes is not None and self.weight_bytes < 0:
+            raise ValueError(f"phase {self.name!r}: weight bytes cannot be negative")
 
     # ------------------------------------------------------------- per-execution
     @property
@@ -100,6 +103,27 @@ class Phase:
         if total_bytes == 0:
             return 0.0
         return (self.gemm_flops + self.non_gemm_flops) / total_bytes
+
+    @property
+    def resident_weight_bytes(self) -> int:
+        """Model-weight bytes this phase needs resident while it executes.
+
+        Generators that know their model set ``weight_bytes`` explicitly (the
+        LLM phases all carry the full decoder stack, since prefill and decode
+        share it).  Otherwise the weights are derived from the B operands —
+        the stationary ``k x n`` matrix of each GEMM — summed over the
+        ``repeat`` folded executions.  Derived decode phases report 0: their
+        ``repeat`` folds layers x tokens, which would multiply-count the
+        layer weights they share with prefill.
+        """
+        if self.weight_bytes is not None:
+            return self.weight_bytes
+        if self.kind is PhaseKind.DECODE:
+            return 0
+        per_execution = sum(
+            shape.k * shape.n * shape.precision.bytes_per_element for shape in self.shapes
+        )
+        return per_execution * self.repeat
 
     # ------------------------------------------------------------------- totals
     @property
@@ -144,6 +168,7 @@ class Phase:
             "step": self.step,
             "state_bytes": self.state_bytes,
             "tokens": self.tokens,
+            "weight_bytes": self.weight_bytes,
         }
 
     @classmethod
@@ -169,6 +194,11 @@ class Phase:
                 step=int(record.get("step", 0)),
                 state_bytes=int(record.get("state_bytes", 0)),
                 tokens=int(record.get("tokens", 0)),
+                weight_bytes=(
+                    None
+                    if record.get("weight_bytes") is None
+                    else int(record["weight_bytes"])
+                ),
             )
         except (KeyError, TypeError) as error:
             raise ValueError(f"malformed phase record: {record!r}") from error
@@ -221,6 +251,27 @@ class WorkloadGraph:
     def peak_state_bytes(self) -> int:
         """Largest resident state any phase needs (e.g. the final KV cache)."""
         return max(phase.state_bytes for phase in self.phases)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Resident model-weight bytes the graph needs on one server.
+
+        Phases with an explicit :attr:`Phase.weight_bytes` declare the *total*
+        shared weights of their model (prefill and decode carry the same
+        stack), so they contribute a maximum; phases that derive their weights
+        from B operands each own distinct layers (conv stages, MLP blocks),
+        so they accumulate.  The resident requirement is whichever is larger.
+        """
+        explicit = max(
+            (phase.weight_bytes for phase in self.phases if phase.weight_bytes is not None),
+            default=0,
+        )
+        derived = sum(
+            phase.resident_weight_bytes
+            for phase in self.phases
+            if phase.weight_bytes is None
+        )
+        return max(explicit, derived)
 
     @property
     def total_tokens(self) -> int:

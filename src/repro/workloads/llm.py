@@ -35,6 +35,7 @@ from repro.workloads.layers import attention_gemms, elementwise_cost, linear_gem
 __all__ = [
     "LLAMA_CONFIGS",
     "kv_cache_bytes",
+    "llm_weight_bytes",
     "llm_prefill_phase",
     "llm_decode_phases",
     "llm_workload_graph",
@@ -55,6 +56,20 @@ def kv_cache_bytes(
 ) -> int:
     """Resident KV-cache bytes for ``batch`` sequences of ``kv_len`` tokens."""
     return 2 * batch * kv_len * config.hidden * layers * precision.bytes_per_element
+
+
+def llm_weight_bytes(config: TransformerConfig, layers: int, precision: Precision) -> int:
+    """Resident weight bytes of ``layers`` decoder layers.
+
+    Q/K/V/O projections (4 ``hidden x hidden`` matrices) plus the SwiGLU MLP
+    (gate/up ``hidden x intermediate`` and down ``intermediate x hidden``).
+    Prefill and decode share this stack, so every phase of a variant carries
+    the same value.
+    """
+    per_layer = (
+        4 * config.hidden * config.hidden + 3 * config.hidden * config.intermediate
+    ) * precision.bytes_per_element
+    return per_layer * layers
 
 
 def _mlp_gemms(tokens: int, config: TransformerConfig, precision: Precision) -> List[GEMMShape]:
@@ -105,6 +120,7 @@ def llm_prefill_phase(
         repeat=layers,
         step=0,
         state_bytes=kv_cache_bytes(config, batch, prompt_len, layers, precision),
+        weight_bytes=llm_weight_bytes(config, layers, precision),
     )
 
 
@@ -160,6 +176,7 @@ def llm_decode_phases(
                 step=step,
                 state_bytes=kv_cache_bytes(config, batch, kv_len, layers, precision),
                 tokens=batch * (end - start),
+                weight_bytes=llm_weight_bytes(config, layers, precision),
             )
         )
         start = end

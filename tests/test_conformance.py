@@ -353,7 +353,7 @@ class TestConformanceCLI:
         assert main(["conformance", "run"]) == 0
         output = capsys.readouterr().out
         assert "golden conformance corpus" in output
-        assert "all 19 golden case(s) passed" in output
+        assert "all 21 golden case(s) passed" in output
 
     def test_fuzz_smoke_budget(self, capsys):
         assert main(["conformance", "fuzz", "--cases", "14", "--seed", "0"]) == 0
@@ -363,7 +363,7 @@ class TestConformanceCLI:
     def test_regen_into_scratch_dir_then_check(self, tmp_path, capsys):
         golden_dir = str(tmp_path / "scratch")
         assert main(["conformance", "run", "--regen", "--golden-dir", golden_dir]) == 0
-        assert "regenerated 19 golden file(s)" in capsys.readouterr().out
+        assert "regenerated 21 golden file(s)" in capsys.readouterr().out
         assert main(["conformance", "run", "--golden-dir", golden_dir]) == 0
 
     def test_regen_refused_in_ci_exits_2(self, tmp_path, monkeypatch, capsys):

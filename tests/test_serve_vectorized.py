@@ -128,14 +128,24 @@ class TestShardParity:
         slow = simulator("scalar").run(trace, shards=3).to_json()
         assert fast == slow
 
-    def test_sharding_rejects_bad_counts_and_step_mode(self):
+    def test_sharding_rejects_bad_counts(self):
         trace = serve_trace()
         with pytest.raises(ValueError, match="shards"):
             simulator("array").run(trace, shards=0)
+
+    def test_step_mode_reports_identical_across_shard_counts(self):
+        # The step-batching loop now has its own sharding contract: cut
+        # points come from a conservative serial-drain bound over the trace
+        # alone, every segment starts cold, so any shards >= 1 agree byte
+        # for byte (shards=None stays the continuous reference semantics).
+        trace = serve_trace(seed=5, duration=30.0)
         step = ServeSimulator(config=maco_default_config(num_nodes=4),
                               batching="step", max_batch=8)
-        with pytest.raises(ValueError, match="request-level"):
-            step.run(trace, shards=2)
+        reports = {
+            shards: step.run(trace, shards=shards).to_json()
+            for shards in (1, 2, 7)
+        }
+        assert reports[1] == reports[2] == reports[7]
 
 
 # -------------------------------------------------------- percentile parity
